@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Searches are
+expensive, so a session-scoped :class:`ExperimentContext` memoizes them —
+in memory and on disk under ``benchmarks/.bomp_cache/<scale>`` — and the
+``benchmark`` fixture then times the (cached) regeneration of the artifact.
+
+Scale is controlled by the ``BOMP_SCALE`` environment variable
+(``smoke`` default; ``unit`` for a fast sanity pass; ``paper`` for the full
+protocol).  Rendered artifacts are written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+BENCH_DIR = Path(__file__).parent
+OUTPUT_DIR = BENCH_DIR / "output"
+
+
+def scale_name() -> str:
+    return os.environ.get("BOMP_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    cache_dir = BENCH_DIR / ".bomp_cache" / scale_name()
+    return ExperimentContext(scale_name(), seed=7, cache_dir=cache_dir)
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a rendered table/figure to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}_{scale_name()}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact: {path}]")
+
+    return _save

@@ -1,0 +1,129 @@
+"""Extension — BO-engine ablations the paper motivates but does not run.
+
+Section III chooses the Matérn kernel and UCB acquisition "following
+AutoKeras", and Section V argues BO "converges faster on promising models
+compared to e.g. evolutionary approaches".  Training candidates for every
+engine variant would dominate the budget without changing the comparison,
+so this bench isolates the *search engines* on a deterministic synthetic
+objective over the real Table I genome space (capacity+bitwidth proxy
+accuracy scalarized by Eq. (1) against the real model-size accounting):
+
+- acquisitions: UCB vs EI vs pure posterior-mean exploitation,
+- kernels: Matérn-5/2 vs exponential (Laplacian) vs RBF,
+- engines: BO vs aging evolution vs random sampling.
+
+The trained-network comparison of BO vs evolution is covered separately by
+Table II/III (BOMP vs the JASQ reproduction).
+"""
+
+import numpy as np
+
+from repro.baselines import AgingEvolution
+from repro.bo import (BayesianOptimizer, ScalarizationConfig,
+                      make_acquisition, make_kernel, scalarize)
+from repro.quant import model_size_bits
+from repro.space import SearchSpace, build_model
+
+TRIALS = 30
+SEEDS = (0, 1, 2)
+
+
+def make_objective(space):
+    config = ScalarizationConfig()
+    cache = {}
+
+    def objective(genome):
+        key = genome.as_key()
+        if key not in cache:
+            capacity = sum(b.width_multiplier * b.repetitions *
+                           (1 + 0.1 * b.expansion)
+                           for b in genome.arch.blocks)
+            accuracy = min(0.95, 0.15 + 0.25 * capacity
+                           + 0.04 * (genome.policy.mean_bits() - 4))
+            model = build_model(genome.arch, 10)
+            size = model_size_bits(model, genome.policy)
+            cache[key] = scalarize(max(0.0, accuracy), size, config)
+        return cache[key]
+
+    return objective
+
+
+def run_bo(space, objective, seed, acquisition="ucb", kernel="matern52"):
+    rng = np.random.default_rng(seed)
+    optimizer = BayesianOptimizer(
+        space, rng, kernel=make_kernel(kernel, length_scale=0.1),
+        acquisition=make_acquisition(acquisition), pool_size=60,
+        n_initial_random=5)
+    best = -np.inf
+    trajectory = []
+    for _ in range(TRIALS):
+        genome = optimizer.ask()
+        score = objective(genome)
+        optimizer.tell(genome, score)
+        best = max(best, score)
+        trajectory.append(best)
+    return trajectory
+
+
+def run_evolution(space, objective, seed):
+    rng = np.random.default_rng(seed)
+    evolution = AgingEvolution(rng, space.random_genome,
+                               lambda g, r: space.mutate(g, r),
+                               population_size=10, tournament_size=3)
+    best = -np.inf
+    trajectory = []
+    for _ in range(TRIALS):
+        genome = evolution.ask()
+        score = objective(genome)
+        evolution.tell(genome, score)
+        best = max(best, score)
+        trajectory.append(best)
+    return trajectory
+
+
+def run_random(space, objective, seed):
+    rng = np.random.default_rng(seed)
+    best = -np.inf
+    trajectory = []
+    for _ in range(TRIALS):
+        best = max(best, objective(space.random_genome(rng)))
+        trajectory.append(best)
+    return trajectory
+
+
+def test_ext_bo_ablation(benchmark, save_artifact):
+    space = SearchSpace("cifar10")
+    objective = make_objective(space)
+
+    def mean_final(runner, **kwargs):
+        finals = [runner(space, objective, seed, **kwargs)[-1]
+                  for seed in SEEDS]
+        return float(np.mean(finals))
+
+    results = {
+        "UCB + Matern52 (paper)": mean_final(run_bo),
+        "EI": mean_final(run_bo, acquisition="ei"),
+        "posterior mean": mean_final(run_bo, acquisition="mean"),
+        "exponential kernel": mean_final(run_bo, kernel="exponential"),
+        "RBF kernel": mean_final(run_bo, kernel="rbf"),
+        "aging evolution": mean_final(run_evolution),
+        "random sampling": mean_final(run_random),
+    }
+    benchmark.pedantic(lambda: run_bo(space, objective, 0), rounds=1,
+                       iterations=1)
+
+    lines = [f"best score after {TRIALS} trials "
+             f"(mean over {len(SEEDS)} seeds):"]
+    for name, score in sorted(results.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<26} {score:.4f}")
+    save_artifact("ext_bo_ablation", "\n".join(lines))
+
+    # the paper's engine choice is competitive: UCB+Matern within noise of
+    # the best variant and at least as good as random sampling
+    best = max(results.values())
+    assert results["UCB + Matern52 (paper)"] >= best - 0.15
+    assert results["UCB + Matern52 (paper)"] >= \
+        results["random sampling"] - 0.02
+    # Section V claim: BO >= evolution on equal budgets (soft)
+    assert results["UCB + Matern52 (paper)"] >= \
+        results["aging evolution"] - 0.05

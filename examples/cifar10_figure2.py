@@ -1,0 +1,29 @@
+"""Regenerate the paper's Fig. 2 and Fig. 3 from the command line.
+
+Runs (or loads from cache) the MP QAFT-aware search on the CIFAR-10
+surrogate with the paper's reference values (ref_acc = 0.8,
+ref_model_size = 8), then renders:
+
+- the candidate scatter with the seed marker (Fig. 2), and
+- the per-layer bitwidth distribution of the final Pareto models (Fig. 3).
+
+Run:
+    python examples/cifar10_figure2.py              # smoke scale
+    BOMP_SCALE=medium python examples/cifar10_figure2.py   # longer, richer
+"""
+
+from repro.experiments import ExperimentContext, fig2, fig3
+
+
+def main() -> None:
+    ctx = ExperimentContext()  # scale from BOMP_SCALE, disk-cached
+    print("generating Fig. 2 (this runs the search on first call)...\n")
+    _, fig2_text = fig2(ctx)
+    print(fig2_text)
+    print("\ngenerating Fig. 3...\n")
+    _, fig3_text = fig3(ctx)
+    print(fig3_text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The quantization toolkit standalone: PTQ vs QAFT on a trained network.
+
+Trains the seed MobileNetV2 on the CIFAR-10 surrogate, then deploys it at
+8/6/5/4-bit weight precision twice — once with plain post-training
+quantization (PTQ) and once adding one epoch of quantization-aware
+fine-tuning (QAFT).  Reproduces, on one model, the paper's central
+observation: PTQ collapses at low bitwidths and QAFT recovers most of the
+loss, which is why BOMP-NAS puts QAFT *inside* the search loop.
+
+Run:
+    python examples/ptq_vs_qaft.py
+"""
+
+import numpy as np
+
+from repro import SearchSpace, build_model, synthetic_cifar10
+from repro.nn import (SGD, CosineDecayLR, Trainer, evaluate_classifier,
+                      load_state_dict, state_dict)
+from repro.quant import (apply_policy, calibrate,
+                         quantization_aware_finetune, remove_quantizers,
+                         model_size_kb, size_report)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    dataset = synthetic_cifar10(n_train=1500, n_test=400, image_size=16,
+                                seed=1)
+    space = SearchSpace("cifar10")
+    model = build_model(space.seed_arch(), 10, rng=rng)
+
+    print("training the seed MobileNetV2 (full precision)...")
+    steps = 10 * (dataset.n_train // 64 + 1)
+    trainer = Trainer(model, SGD(model.parameters(),
+                                 CosineDecayLR(0.05, steps)))
+    trainer.fit(dataset.x_train, dataset.y_train, epochs=10, batch_size=64,
+                rng=rng)
+    _, fp_accuracy = evaluate_classifier(model, dataset.x_test,
+                                         dataset.y_test)
+    print(f"float32 accuracy: {fp_accuracy:.3f}\n")
+
+    snapshot = state_dict(model)
+    print(f"{'bits':>4} {'size kB':>9} {'PTQ acc':>8} {'QAFT acc':>9} "
+          f"{'recovered':>9}")
+    for bits in (8, 6, 5, 4):
+        remove_quantizers(model)
+        load_state_dict(model, snapshot)
+        policy = space.seed_policy(bits)
+        apply_policy(model, policy)
+        calibrate(model, dataset.x_train[:256])
+        _, ptq_accuracy = evaluate_classifier(model, dataset.x_test,
+                                              dataset.y_test)
+        quantization_aware_finetune(model, dataset.x_train,
+                                    dataset.y_train, epochs=1,
+                                    batch_size=64, rng=rng)
+        _, qaft_accuracy = evaluate_classifier(model, dataset.x_test,
+                                               dataset.y_test)
+        size_kb = model_size_kb(model)
+        recovered = qaft_accuracy - ptq_accuracy
+        print(f"{bits:>4} {size_kb:>9.2f} {ptq_accuracy:>8.3f} "
+              f"{qaft_accuracy:>9.3f} {recovered:>+9.3f}")
+
+    print("\nper-layer size breakdown at 4-bit:")
+    remove_quantizers(model)
+    print(size_report(model, space.seed_policy(4)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: run a small BOMP-NAS search end to end.
+
+Samples (architecture, mixed-precision policy) candidates with Bayesian
+optimization, early-trains each in full precision, quantizes, fine-tunes
+quantization-aware (QAFT), and prints the resulting Pareto front of
+deployable models.
+
+Run:
+    python examples/quickstart.py            # ~2-3 minutes on CPU
+    BOMP_SCALE=unit python examples/quickstart.py   # seconds, degenerate
+"""
+
+from repro import BOMPNAS, SearchConfig, get_scale, synthetic_cifar10
+
+
+def main() -> None:
+    scale = get_scale()  # BOMP_SCALE env var, default "smoke"
+    dataset = synthetic_cifar10(n_train=scale.n_train, n_test=scale.n_test,
+                                image_size=scale.image_size, seed=0)
+    config = SearchConfig(dataset="cifar10", scale=scale, seed=0)
+    print(f"running {config.describe()}")
+
+    def progress(trial):
+        print(f"  trial {trial.index:>3}: acc={trial.accuracy:.3f} "
+              f"size={trial.size_kb:7.2f} kB score={trial.score:.3f}")
+
+    nas = BOMPNAS(config, dataset, progress=progress)
+    result = nas.run(final_training=True)
+
+    print()
+    print(result.summary())
+    print()
+    print("final Pareto front (accuracy, size kB):")
+    for accuracy, size_kb in result.final_front():
+        print(f"  {accuracy:.3f}  {size_kb:9.2f}")
+    print(f"simulated search cost: {result.search_gpu_hours():.3g} GPU-hours")
+
+
+if __name__ == "__main__":
+    main()

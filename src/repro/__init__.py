@@ -1,0 +1,45 @@
+"""BOMP-NAS: Bayesian Optimization Mixed Precision NAS (DATE 2023).
+
+A from-scratch reproduction of van Son et al.'s quantization-aware neural
+architecture search, including every substrate it depends on:
+
+- :mod:`repro.nn` — a numpy CNN training framework (the TensorFlow stand-in)
+- :mod:`repro.quant` — mixed-precision fake quantization, PTQ and QAFT
+  (the QKeras stand-in)
+- :mod:`repro.space` — the Table I MobileNetV2 search space
+- :mod:`repro.bo` — GP surrogate + UCB Bayesian optimization (the
+  AutoKeras stand-in)
+- :mod:`repro.nas` — the BOMP-NAS loop, search modes and cost model
+- :mod:`repro.baselines` — JASQ / muNAS / sequential comparators
+- :mod:`repro.data` — synthetic CIFAR surrogates
+- :mod:`repro.experiments` — regeneration of every paper figure and table
+
+Quick start::
+
+    from repro import BOMPNAS, SearchConfig, get_scale, synthetic_cifar10
+
+    scale = get_scale("smoke")
+    dataset = synthetic_cifar10(scale.n_train, scale.n_test,
+                                image_size=scale.image_size)
+    result = BOMPNAS(SearchConfig(scale=scale), dataset).run()
+    print(result.summary())
+"""
+
+from .bo import ScalarizationConfig, pareto_front, scalarize
+from .data import synthetic_cifar10, synthetic_cifar100
+from .nas import (BOMPNAS, CostModel, SearchConfig, SearchResult, get_mode,
+                  get_scale)
+from .quant import QuantizationPolicy, model_size_kb
+from .space import ArchGenome, MixedPrecisionGenome, SearchSpace, build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOMPNAS", "SearchConfig", "SearchResult", "CostModel",
+    "get_mode", "get_scale",
+    "SearchSpace", "ArchGenome", "MixedPrecisionGenome", "build_model",
+    "QuantizationPolicy", "model_size_kb",
+    "ScalarizationConfig", "scalarize", "pareto_front",
+    "synthetic_cifar10", "synthetic_cifar100",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""Aging-evolution search core, shared by the JASQ and μNAS baselines.
+
+Regularized (aging) evolution (Real et al., 2019): keep a FIFO population;
+each cycle, tournament-sample a parent from the population, mutate it into
+a child, evaluate the child, append it and evict the oldest member.  This
+is the search strategy the paper's main comparators use, and its tendency
+to get stuck in local minima (Section II, on JASQ) is exactly what BO is
+introduced to fix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..space.genome import MixedPrecisionGenome
+
+SampleFn = Callable[[np.random.Generator], MixedPrecisionGenome]
+MutateFn = Callable[[MixedPrecisionGenome, np.random.Generator],
+                    MixedPrecisionGenome]
+EvaluateFn = Callable[[MixedPrecisionGenome], float]
+
+
+class AgingEvolution:
+    """Tournament-based aging evolution over genomes.
+
+    Args:
+        population_size: FIFO population capacity.
+        tournament_size: candidates sampled per parent selection.
+        sample_fn / mutate_fn: genome operators (mode-restricted by caller).
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 sample_fn: SampleFn, mutate_fn: MutateFn,
+                 population_size: int = 16,
+                 tournament_size: int = 4) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= tournament_size <= population_size:
+            raise ValueError(
+                "tournament_size must be in [1, population_size]")
+        self.rng = rng
+        self.sample_fn = sample_fn
+        self.mutate_fn = mutate_fn
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self._population: Deque[Tuple[MixedPrecisionGenome, float]] = deque()
+        self._history: List[Tuple[MixedPrecisionGenome, float]] = []
+
+    @property
+    def history(self) -> List[Tuple[MixedPrecisionGenome, float]]:
+        return list(self._history)
+
+    @property
+    def population(self) -> List[Tuple[MixedPrecisionGenome, float]]:
+        return list(self._population)
+
+    def ask(self) -> MixedPrecisionGenome:
+        """Next genome to evaluate: random during warm-up, else mutation."""
+        if len(self._history) < self.population_size:
+            return self.sample_fn(self.rng)
+        indices = self.rng.choice(len(self._population),
+                                  size=self.tournament_size, replace=False)
+        parent = max((self._population[int(i)] for i in indices),
+                     key=lambda entry: entry[1])[0]
+        return self.mutate_fn(parent, self.rng)
+
+    def tell(self, genome: MixedPrecisionGenome, score: float) -> None:
+        """Record an evaluation; evicts the oldest member when full."""
+        if not np.isfinite(score):
+            raise ValueError(f"score must be finite, got {score}")
+        self._history.append((genome, score))
+        self._population.append((genome, score))
+        if len(self._population) > self.population_size:
+            self._population.popleft()
+
+    def best(self) -> Tuple[MixedPrecisionGenome, float]:
+        if not self._history:
+            raise RuntimeError("no evaluations recorded")
+        return max(self._history, key=lambda entry: entry[1])
+
+    def run(self, evaluate: EvaluateFn, n_evaluations: int
+            ) -> List[Tuple[MixedPrecisionGenome, float]]:
+        """Drive the full loop for ``n_evaluations`` evaluations."""
+        if n_evaluations <= 0:
+            raise ValueError("n_evaluations must be positive")
+        for _ in range(n_evaluations):
+            genome = self.ask()
+            self.tell(genome, evaluate(genome))
+        return self.history

@@ -1,0 +1,71 @@
+"""Acquisition functions for the BO search strategy.
+
+BOMP-NAS uses Upper Confidence Bound (UCB), following AutoKeras.  Expected
+Improvement and pure exploitation (posterior mean) are provided for the
+acquisition ablation study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+class AcquisitionFunction:
+    """Scores candidate encodings given a fitted GP (higher = pick sooner)."""
+
+    def score(self, mean: np.ndarray, std: np.ndarray,
+              best_observed: float) -> np.ndarray:
+        raise NotImplementedError
+
+
+class UpperConfidenceBound(AcquisitionFunction):
+    """UCB: ``mean + beta * std`` — the BOMP-NAS default (beta from AutoKeras)."""
+
+    def __init__(self, beta: float = 2.576) -> None:
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.beta = beta
+
+    def score(self, mean: np.ndarray, std: np.ndarray,
+              best_observed: float) -> np.ndarray:
+        return mean + self.beta * std
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """EI over the best observed score (maximization convention)."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ValueError("xi must be non-negative")
+        self.xi = xi
+
+    def score(self, mean: np.ndarray, std: np.ndarray,
+              best_observed: float) -> np.ndarray:
+        std = np.clip(std, 1e-12, None)
+        improvement = mean - best_observed - self.xi
+        z = improvement / std
+        return improvement * norm.cdf(z) + std * norm.pdf(z)
+
+
+class PosteriorMean(AcquisitionFunction):
+    """Pure exploitation: rank candidates by posterior mean only."""
+
+    def score(self, mean: np.ndarray, std: np.ndarray,
+              best_observed: float) -> np.ndarray:
+        return mean
+
+
+ACQUISITIONS = {
+    "ucb": UpperConfidenceBound,
+    "ei": ExpectedImprovement,
+    "mean": PosteriorMean,
+}
+
+
+def make_acquisition(kind: str, **kwargs) -> AcquisitionFunction:
+    """Factory for acquisition functions by name."""
+    if kind not in ACQUISITIONS:
+        raise ValueError(
+            f"unknown acquisition {kind!r}; choices: {sorted(ACQUISITIONS)}")
+    return ACQUISITIONS[kind](**kwargs)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``search``  — run a BOMP-NAS search (any mode) and write the result JSON.
+- ``report``  — regenerate a paper figure or table (text, optionally SVG).
+- ``inspect`` — summarize a saved search result JSON.
+- ``space``   — print the Table I search space and its cardinalities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bo.scalarization import ScalarizationConfig
+from .data.synthetic import load_dataset
+from .experiments.runner import REF_SIZE, ExperimentContext
+from .nas.config import (SCALE_PRESETS, SEARCH_MODES, SearchConfig,
+                         get_mode, get_scale)
+from .nas.results import SearchResult
+from .nas.search import BOMPNAS
+from .space.space import SearchSpace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOMP-NAS (DATE 2023) reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser("search", help="run a BOMP-NAS search")
+    search.add_argument("--dataset", choices=("cifar10", "cifar100"),
+                        default="cifar10")
+    search.add_argument("--mode", choices=sorted(SEARCH_MODES),
+                        default="mp_qaft")
+    search.add_argument("--scale", choices=sorted(SCALE_PRESETS),
+                        default=None,
+                        help="protocol scale (default: BOMP_SCALE env or "
+                             "'smoke')")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--ref-acc", type=float, default=0.8,
+                        help="Eq. (1) accuracy reference")
+    search.add_argument("--ref-size", type=float, default=None,
+                        help="Eq. (1) size reference (default: paper value "
+                             "for the dataset)")
+    search.add_argument("--policies-per-trial", type=int, default=1,
+                        help="quantization policies evaluated per trained "
+                             "network (paper future-work extension)")
+    search.add_argument("--no-final-training", action="store_true",
+                        help="skip final training of the Pareto set")
+    search.add_argument("--out", default=None,
+                        help="write the result JSON here")
+    search.add_argument("--quiet", action="store_true")
+
+    report = commands.add_parser(
+        "report", help="regenerate a paper figure or table")
+    report.add_argument("artifact",
+                        choices=["fig2", "fig3", "fig4", "fig5", "fig6",
+                                 "fig7", "fig8", "table1", "table2",
+                                 "table3", "table4"])
+    report.add_argument("--scale", choices=sorted(SCALE_PRESETS),
+                        default=None)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--svg-out", default=None,
+                        help="also write an SVG rendering here (figures "
+                             "only)")
+
+    inspect = commands.add_parser(
+        "inspect", help="summarize a saved search result")
+    inspect.add_argument("result", help="path to a result JSON")
+
+    space = commands.add_parser(
+        "space", help="print the search space and cardinalities")
+    space.add_argument("--dataset", choices=("cifar10", "cifar100"),
+                       default="cifar10")
+    return parser
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    ref_size = args.ref_size if args.ref_size is not None else \
+        REF_SIZE[args.dataset]
+    config = SearchConfig(
+        dataset=args.dataset, mode=get_mode(args.mode), scale=scale,
+        scalarization=ScalarizationConfig(ref_accuracy=args.ref_acc,
+                                          ref_model_size=ref_size),
+        seed=args.seed, policies_per_trial=args.policies_per_trial)
+    dataset = load_dataset(args.dataset, n_train=scale.n_train,
+                           n_test=scale.n_test,
+                           image_size=scale.image_size, seed=args.seed)
+    progress = None
+    if not args.quiet:
+        print(f"running {config.describe()}")
+
+        def progress(trial):
+            print(f"  trial {trial.index:>3}: acc={trial.accuracy:.3f} "
+                  f"size={trial.size_kb:8.2f} kB score={trial.score:.3f}")
+
+    nas = BOMPNAS(config, dataset, progress=progress)
+    result = nas.run(final_training=not args.no_final_training)
+    print(result.summary())
+    if args.out:
+        result.save(args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import figures, tables
+    if args.artifact.startswith("table"):
+        if args.artifact == "table1":
+            _, text = tables.table1()
+        else:
+            ctx = ExperimentContext(args.scale, seed=args.seed)
+            _, text = getattr(tables, args.artifact)(ctx)
+        print(text)
+        return 0
+    ctx = ExperimentContext(args.scale, seed=args.seed)
+    data, text = getattr(figures, args.artifact)(ctx)
+    print(text)
+    if args.svg_out:
+        from .experiments.svg import figure_to_svg
+        figure_to_svg(data, args.artifact.replace("fig", "Figure "),
+                      path=args.svg_out)
+        print(f"SVG written to {args.svg_out}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    result = SearchResult.load(args.result)
+    print(result.summary())
+    print("\ncandidate Pareto front (accuracy, size kB):")
+    for accuracy, size_kb in result.candidate_front():
+        print(f"  {accuracy:.3f}  {size_kb:9.2f}")
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    print(SearchSpace(args.dataset).summary())
+    return 0
+
+
+COMMANDS = {
+    "search": cmd_search,
+    "report": cmd_report,
+    "inspect": cmd_inspect,
+    "space": cmd_space,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

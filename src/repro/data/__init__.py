@@ -1,0 +1,11 @@
+"""Data substrate: dataset container and synthetic CIFAR surrogates."""
+
+from .datasets import Dataset, shift_flip_augment
+from .synthetic import (load_dataset, make_synthetic_dataset,
+                        synthetic_cifar10, synthetic_cifar100)
+
+__all__ = [
+    "Dataset", "shift_flip_augment",
+    "make_synthetic_dataset", "synthetic_cifar10", "synthetic_cifar100",
+    "load_dataset",
+]

@@ -1,0 +1,100 @@
+"""Dataset container and batch augmentation.
+
+A :class:`Dataset` bundles train/test splits with metadata.  The
+``shift_flip_augment`` function is the standard CIFAR augmentation (random
+shift + horizontal flip) in batch form, pluggable into
+:class:`repro.nn.trainer.Trainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """An image-classification dataset with train and test splits."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.x_train.ndim != 4 or self.x_test.ndim != 4:
+            raise ValueError("images must be NHWC")
+        if self.x_train.shape[0] != self.y_train.shape[0]:
+            raise ValueError("train images/labels length mismatch")
+        if self.x_test.shape[0] != self.y_test.shape[0]:
+            raise ValueError("test images/labels length mismatch")
+        if self.num_classes < 2:
+            raise ValueError("need at least 2 classes")
+        for labels in (self.y_train, self.y_test):
+            if labels.size and (labels.min() < 0
+                                or labels.max() >= self.num_classes):
+                raise ValueError("labels out of range")
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.x_train.shape[1:]
+
+    @property
+    def n_train(self) -> int:
+        return self.x_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.x_test.shape[0]
+
+    def subsample(self, n_train: int, n_test: int,
+                  rng: np.random.Generator) -> "Dataset":
+        """A smaller dataset with stratification-free random subsets."""
+        if n_train > self.n_train or n_test > self.n_test:
+            raise ValueError("cannot subsample beyond available data")
+        train_idx = rng.choice(self.n_train, n_train, replace=False)
+        test_idx = rng.choice(self.n_test, n_test, replace=False)
+        return Dataset(
+            name=f"{self.name}[{n_train}/{n_test}]",
+            x_train=self.x_train[train_idx], y_train=self.y_train[train_idx],
+            x_test=self.x_test[test_idx], y_test=self.y_test[test_idx],
+            num_classes=self.num_classes)
+
+    def batches(self, batch_size: int, rng: np.random.Generator
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Shuffled mini-batches over the training split."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = rng.permutation(self.n_train)
+        for start in range(0, self.n_train, batch_size):
+            idx = order[start:start + batch_size]
+            yield self.x_train[idx], self.y_train[idx]
+
+
+def shift_flip_augment(max_shift: int = 2, flip: bool = True):
+    """Batch augmentation: random shift (edge padded) + horizontal flip.
+
+    Returns a callable ``(x_batch, rng) -> x_batch`` for the trainer.
+    """
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+
+    def augment(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = x.copy()
+        n = x.shape[0]
+        if max_shift > 0:
+            shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+            for i in range(n):
+                dy, dx = int(shifts[i, 0]), int(shifts[i, 1])
+                if dy or dx:
+                    out[i] = np.roll(out[i], (dy, dx), axis=(0, 1))
+        if flip:
+            flip_mask = rng.random(n) < 0.5
+            out[flip_mask] = out[flip_mask, :, ::-1, :]
+        return out
+
+    return augment

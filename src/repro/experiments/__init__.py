@@ -1,0 +1,18 @@
+"""Experiment orchestration: shared runner, figure and table generators."""
+
+from .figures import (fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+                      ptq_post_qaft_front, ptq_post_qaft_result, seed_point)
+from .reporting import (ascii_scatter, bitwidth_histogram, format_front,
+                        format_table)
+from .runner import REF_SIZE, ExperimentContext, default_cache_dir
+from .svg import SvgScatter, figure_to_svg
+from .tables import table1, table2, table3, table4
+
+__all__ = [
+    "ExperimentContext", "default_cache_dir", "REF_SIZE",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "seed_point", "ptq_post_qaft_front",
+    "table1", "table2", "table3", "table4",
+    "format_table", "ascii_scatter", "format_front", "bitwidth_histogram",
+    "SvgScatter", "figure_to_svg",
+]

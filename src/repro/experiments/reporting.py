@@ -1,0 +1,118 @@
+"""Plain-text rendering of tables and scatter plots.
+
+The benchmark harness has no display, so figures are rendered as ASCII
+scatter plots and tables as aligned text — enough to see who wins, by what
+factor and where the crossovers fall, which is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Align columns of a list-of-rows table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_scatter(series: Dict[str, List[Tuple[float, float]]],
+                  width: int = 68, height: int = 18,
+                  x_label: str = "model size [kB] (log)",
+                  y_label: str = "accuracy",
+                  log_x: bool = True,
+                  title: Optional[str] = None) -> str:
+    """Scatter plot of named point series; each series gets a marker.
+
+    Coordinates are ``(x, y)`` pairs; with ``log_x`` the x axis is log10
+    (the convention of the paper's figures).
+    """
+    markers = "ox+*#@%&"
+    points = [(name, p) for name, pts in series.items() for p in pts]
+    if not points:
+        raise ValueError("no points to plot")
+    xs = [p[1][0] for p in points]
+    ys = [p[1][1] for p in points]
+    if log_x:
+        if min(xs) <= 0:
+            raise ValueError("log x axis requires positive x values")
+        xs = [math.log10(x) for x in xs]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (x, y)) in enumerate(points):
+        marker = markers[list(series).index(name) % len(markers)]
+        x_val = math.log10(x) if log_x else x
+        col = int((x_val - x_min) / x_span * (width - 1))
+        row = int((y_max - y) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_max - i / (height - 1) * y_span if height > 1 else y_max
+        lines.append(f"{y_val:7.3f} |" + "".join(row))
+    x_lo = 10 ** x_min if log_x else x_min
+    x_hi = 10 ** x_max if log_x else x_max
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x_lo:<10.3g}{x_label:^{max(width - 20, 0)}}"
+                 f"{x_hi:>10.3g}")
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def format_front(front: Sequence[Tuple[float, float]],
+                 label: str) -> str:
+    """One-line rendering of a Pareto front for log output."""
+    points = ", ".join(f"({acc:.3f}, {size:.2f}kB)" for acc, size in front)
+    return f"{label}: [{points}]"
+
+
+def bitwidth_histogram(bit_assignments: Sequence[Dict[str, int]],
+                       bit_choices: Sequence[int]) -> str:
+    """Render Fig. 3-style per-layer bitwidth distributions.
+
+    Each row is a layer slot; columns count how many Pareto models chose
+    each bitwidth for that slot.
+    """
+    if not bit_assignments:
+        raise ValueError("need at least one bit assignment")
+    slots = list(bit_assignments[0])
+    headers = ["slot"] + [f"{b}b" for b in bit_choices]
+    rows = []
+    for slot in slots:
+        counts = {b: 0 for b in bit_choices}
+        for assignment in bit_assignments:
+            counts[assignment[slot]] += 1
+        rows.append([slot] + [counts[b] for b in bit_choices])
+    return format_table(headers, rows,
+                        title="bitwidth distribution per layer slot")

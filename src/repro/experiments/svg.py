@@ -1,0 +1,222 @@
+"""Minimal SVG scatter-plot writer for the paper's figures.
+
+No plotting library is available offline, so figures are rendered to
+standalone SVG files directly: log-x scatter of (model size, accuracy)
+series with a legend, optional connecting lines for Pareto fronts, and
+dotted equal-score contours — the visual grammar of Figs. 2/4/5/6/7/8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+PALETTE = ("#4361ee", "#e63946", "#2a9d8f", "#f4a261", "#9d4edd",
+           "#264653", "#ff70a6")
+
+
+@dataclass
+class Series:
+    """One named point set."""
+
+    name: str
+    points: List[Tuple[float, float]]          # (x=size_kb, y=accuracy)
+    connect: bool = False                      # draw a line through points
+    marker: str = "circle"                     # circle | square | diamond
+    dashed: bool = False
+
+
+@dataclass
+class SvgScatter:
+    """Builds an SVG scatter plot of (size, accuracy) series."""
+
+    title: str = ""
+    x_label: str = "model size [kB]"
+    y_label: str = "accuracy"
+    width: int = 640
+    height: int = 420
+    log_x: bool = True
+    series: List[Series] = field(default_factory=list)
+
+    MARGIN_LEFT = 64
+    MARGIN_RIGHT = 16
+    MARGIN_TOP = 36
+    MARGIN_BOTTOM = 48
+
+    def add(self, name: str, points: Sequence[Tuple[float, float]],
+            connect: bool = False, marker: str = "circle",
+            dashed: bool = False) -> None:
+        if marker not in ("circle", "square", "diamond"):
+            raise ValueError(f"unknown marker {marker!r}")
+        self.series.append(Series(name, [(float(x), float(y))
+                                         for x, y in points],
+                                  connect=connect, marker=marker,
+                                  dashed=dashed))
+
+    # -- coordinate transforms ---------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if not xs:
+            raise ValueError("no points to plot")
+        if self.log_x:
+            if min(xs) <= 0:
+                raise ValueError("log x axis requires positive sizes")
+            xs = [math.log10(x) for x in xs]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_pad = (x_hi - x_lo) * 0.05 or 0.5
+        y_pad = (y_hi - y_lo) * 0.05 or 0.05
+        return x_lo - x_pad, x_hi + x_pad, y_lo - y_pad, y_hi + y_pad
+
+    def _to_px(self, x: float, y: float,
+               bounds: Tuple[float, float, float, float]
+               ) -> Tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        x_val = math.log10(x) if self.log_x else x
+        plot_w = self.width - self.MARGIN_LEFT - self.MARGIN_RIGHT
+        plot_h = self.height - self.MARGIN_TOP - self.MARGIN_BOTTOM
+        px = self.MARGIN_LEFT + (x_val - x_lo) / (x_hi - x_lo) * plot_w
+        py = self.MARGIN_TOP + (y_hi - y) / (y_hi - y_lo) * plot_h
+        return px, py
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        bounds = self._bounds()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="11">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>',
+        ]
+        parts.extend(self._axes(bounds))
+        for index, series in enumerate(self.series):
+            parts.extend(self._series_svg(series, PALETTE[index %
+                                                          len(PALETTE)],
+                                          bounds))
+        parts.extend(self._legend())
+        if self.title:
+            parts.append(
+                f'<text x="{self.width / 2}" y="18" text-anchor="middle" '
+                f'font-size="13" font-weight="bold">'
+                f'{_escape(self.title)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _axes(self, bounds) -> List[str]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        left, top = self.MARGIN_LEFT, self.MARGIN_TOP
+        right = self.width - self.MARGIN_RIGHT
+        bottom = self.height - self.MARGIN_BOTTOM
+        parts = [
+            f'<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" '
+            f'stroke="#333"/>',
+            f'<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" '
+            f'stroke="#333"/>',
+            f'<text x="{(left + right) / 2}" y="{self.height - 10}" '
+            f'text-anchor="middle">{_escape(self.x_label)}</text>',
+            f'<text x="14" y="{(top + bottom) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {(top + bottom) / 2})">'
+            f'{_escape(self.y_label)}</text>',
+        ]
+        # x ticks: decades when log, else 5 linear ticks
+        if self.log_x:
+            for decade in range(math.floor(x_lo), math.ceil(x_hi) + 1):
+                if not x_lo <= decade <= x_hi:
+                    continue
+                px, _ = self._to_px(10 ** decade, y_lo, bounds)
+                parts.append(f'<line x1="{px:.1f}" y1="{bottom}" '
+                             f'x2="{px:.1f}" y2="{top}" stroke="#eee"/>')
+                parts.append(f'<text x="{px:.1f}" y="{bottom + 16}" '
+                             f'text-anchor="middle">'
+                             f'{10 ** decade:g}</text>')
+        for i in range(6):
+            y = y_lo + i * (y_hi - y_lo) / 5
+            _, py = self._to_px(10 ** x_lo if self.log_x else x_lo, y,
+                                bounds)
+            parts.append(f'<line x1="{left}" y1="{py:.1f}" x2="{right}" '
+                         f'y2="{py:.1f}" stroke="#eee"/>')
+            parts.append(f'<text x="{left - 6}" y="{py + 4:.1f}" '
+                         f'text-anchor="end">{y:.2f}</text>')
+        return parts
+
+    def _series_svg(self, series: Series, color: str, bounds) -> List[str]:
+        parts = []
+        pixels = [self._to_px(x, y, bounds) for x, y in series.points]
+        if series.connect and len(pixels) > 1:
+            path = " ".join(f"{'M' if i == 0 else 'L'}{px:.1f},{py:.1f}"
+                            for i, (px, py) in enumerate(pixels))
+            dash = ' stroke-dasharray="5,4"' if series.dashed else ""
+            parts.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                         f'stroke-width="1.5"{dash}/>')
+        for px, py in pixels:
+            parts.append(_marker(series.marker, px, py, color))
+        return parts
+
+    def _legend(self) -> List[str]:
+        parts = []
+        x = self.MARGIN_LEFT + 10
+        y = self.MARGIN_TOP + 8
+        for index, series in enumerate(self.series):
+            color = PALETTE[index % len(PALETTE)]
+            parts.append(_marker(series.marker, x, y, color))
+            parts.append(f'<text x="{x + 10}" y="{y + 4}">'
+                         f'{_escape(series.name)}</text>')
+            y += 16
+        return parts
+
+
+def _marker(kind: str, px: float, py: float, color: str) -> str:
+    if kind == "circle":
+        return (f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3.5" '
+                f'fill="{color}" fill-opacity="0.8"/>')
+    if kind == "square":
+        return (f'<rect x="{px - 3:.1f}" y="{py - 3:.1f}" width="6" '
+                f'height="6" fill="{color}" fill-opacity="0.8"/>')
+    return (f'<path d="M{px:.1f},{py - 4:.1f} L{px + 4:.1f},{py:.1f} '
+            f'L{px:.1f},{py + 4:.1f} L{px - 4:.1f},{py:.1f} Z" '
+            f'fill="{color}" fill-opacity="0.8"/>')
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def figure_to_svg(data: Dict, title: str,
+                  path: Optional[str] = None) -> str:
+    """Render a ``figN`` data dict (from :mod:`repro.experiments.figures`)
+    to SVG; writes to ``path`` when given and returns the markup."""
+    plot = SvgScatter(title=title)
+    if "fronts" in data:  # comparison figures (5/8)
+        for name, front in data["fronts"].items():
+            if front:
+                plot.add(name, [(size, acc) for acc, size in front],
+                         connect=True)
+    else:  # search scatter figures (2/4/6/7)
+        if data.get("early_candidates"):
+            plot.add("early candidates", data["early_candidates"])
+        if data.get("late_candidates"):
+            plot.add("late candidates", data["late_candidates"],
+                     marker="square")
+        if data.get("final_models"):
+            plot.add("final Pareto models", data["final_models"],
+                     connect=True, marker="diamond")
+        if data.get("seed_point"):
+            accuracy, size = data["seed_point"]
+            plot.add("seed (8-bit MobileNetV2)", [(size, accuracy)],
+                     marker="diamond")
+        contour = [(size, acc) for size, acc in
+                   data.get("equal_score_contour", [])
+                   if 0.0 <= acc <= 1.0]
+        if len(contour) > 1:
+            plot.add("equal-score contour", contour, connect=True,
+                     dashed=True)
+    markup = plot.render()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(markup)
+    return markup

@@ -1,0 +1,21 @@
+"""The BOMP-NAS engine: configs, search loop, final training, cost model."""
+
+from .config import (SCALE_PRESETS, SEARCH_MODES, ScalePreset, SearchConfig,
+                     SearchMode, get_mode, get_scale)
+from .cost import (PAPER_EARLY_EPOCHS, PAPER_N_TRAIN, PAPER_TRIALS,
+                   SEED_MACS_32, CostModel)
+from .final_training import train_final_model, train_final_models
+from .results import SearchResult
+from .search import BOMPNAS
+from .trial import (FinalModelResult, TrialResult, genome_from_dict,
+                    genome_to_dict)
+
+__all__ = [
+    "BOMPNAS", "SearchConfig", "SearchMode", "ScalePreset",
+    "SEARCH_MODES", "SCALE_PRESETS", "get_mode", "get_scale",
+    "SearchResult", "TrialResult", "FinalModelResult",
+    "genome_to_dict", "genome_from_dict",
+    "CostModel", "SEED_MACS_32", "PAPER_TRIALS", "PAPER_EARLY_EPOCHS",
+    "PAPER_N_TRAIN",
+    "train_final_model", "train_final_models",
+]

@@ -1,0 +1,224 @@
+"""The BOMP-NAS search loop (Fig. 1 of the paper).
+
+Each trial: the BO search strategy selects a candidate DNN + quantization
+policy (1); the DNN is early-trained in full precision (2); quantized
+according to the policy (3); fine-tuned quantization-aware (4); evaluated
+(5); the (accuracy, model size) objectives are scalarized by Eq. (1) into a
+score (5a) which updates the GP surrogate (6).  After the trial budget is
+spent, the Pareto-optimal candidates are finally trained (7).
+
+Search modes reduce this loop: PTQ modes skip step (4); the post-NAS
+baseline skips (3) and (4) entirely and scores full-precision accuracy
+against the deployment (8-bit) size.
+
+The ``policies_per_trial`` option implements the paper's future-work
+proposal: re-use one early-trained network to evaluate several quantization
+policies, feeding each to the surrogate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..bo.optimizer import BayesianOptimizer
+from ..bo.acquisition import make_acquisition
+from ..bo.kernels import make_kernel
+from ..bo.scalarization import scalarize
+from ..data.datasets import Dataset
+from ..nn.losses import evaluate_classifier
+from ..nn.network import Sequential
+from ..nn.optim import SGD, Adam, CosineDecayLR, Optimizer
+from ..nn.serialization import load_state_dict, state_dict
+from ..nn.trainer import Trainer
+from ..quant.apply import apply_policy, calibrate, remove_quantizers
+from ..quant.policy import QuantizationPolicy
+from ..quant.qaft import quantization_aware_finetune
+from ..quant.size import model_size_bits
+from ..space.builder import build_model, count_macs
+from ..space.genome import MixedPrecisionGenome
+from ..space.space import SearchSpace
+from .config import SearchConfig
+from .cost import CostModel
+from .results import SearchResult
+from .trial import TrialResult
+
+ProgressFn = Callable[[TrialResult], None]
+
+
+class BOMPNAS:
+    """Bayesian Optimization Mixed-Precision NAS.
+
+    Args:
+        config: run recipe (mode, scale, scalarization, seed).
+        dataset: pre-generated dataset; its ``num_classes`` must match the
+            config's dataset name (10 or 100).
+        cost_model: simulated GPU-hour accounting.
+        progress: optional per-trial callback (for logging).
+    """
+
+    def __init__(self, config: SearchConfig, dataset: Dataset,
+                 cost_model: Optional[CostModel] = None,
+                 progress: Optional[ProgressFn] = None,
+                 space: Optional[SearchSpace] = None) -> None:
+        expected_classes = 10 if config.dataset == "cifar10" else 100
+        if dataset.num_classes != expected_classes:
+            raise ValueError(
+                f"dataset has {dataset.num_classes} classes but config "
+                f"expects {expected_classes}")
+        if space is not None and space.dataset != config.dataset:
+            raise ValueError(
+                f"space is for {space.dataset!r} but config expects "
+                f"{config.dataset!r}")
+        self.config = config
+        self.dataset = dataset
+        self.space = space if space is not None else SearchSpace(
+            config.dataset)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.progress = progress
+        self.rng = np.random.default_rng(config.seed)
+        self._fixed_policy = self._make_fixed_policy()
+
+    # -- mode plumbing -----------------------------------------------------
+    def _make_fixed_policy(self) -> Optional[QuantizationPolicy]:
+        mode = self.config.mode
+        if mode.search_policy:
+            return None
+        return self.space.seed_policy(mode.fixed_bits)
+
+    def _sample_genome(self, rng: np.random.Generator) -> MixedPrecisionGenome:
+        if self._fixed_policy is None:
+            return self.space.random_genome(rng)
+        return MixedPrecisionGenome(self.space.random_arch(rng),
+                                    self._fixed_policy)
+
+    def _mutate_genome(self, genome: MixedPrecisionGenome,
+                       rng: np.random.Generator) -> MixedPrecisionGenome:
+        policy_fixed = self._fixed_policy is not None
+        return self.space.mutate(genome, rng, policy_fixed=policy_fixed)
+
+    def make_optimizer(self) -> BayesianOptimizer:
+        scale = self.config.scale
+        return BayesianOptimizer(
+            self.space, self.rng,
+            kernel=make_kernel(self.config.kernel, length_scale=0.1),
+            acquisition=make_acquisition(self.config.acquisition),
+            n_initial_random=scale.n_initial_random,
+            sample_fn=self._sample_genome,
+            mutate_fn=self._mutate_genome)
+
+    def make_training_optimizer(self, model: Sequential,
+                                epochs: int) -> Optimizer:
+        """The full-precision training optimizer (early & final training)."""
+        scale = self.config.scale
+        steps_per_epoch = -(-scale.n_train // scale.batch_size)
+        schedule = CosineDecayLR(self.config.learning_rate,
+                                 max(1, epochs * steps_per_epoch))
+        if self.config.optimizer == "adam":
+            return Adam(model.parameters(), schedule)
+        return SGD(model.parameters(), schedule)
+
+    # -- candidate evaluation (steps 2-5a of Fig. 1) -------------------------
+    def early_train(self, genome: MixedPrecisionGenome) -> Sequential:
+        """Step (2): build and early-train a candidate in full precision."""
+        scale = self.config.scale
+        model = build_model(genome.arch, self.dataset.num_classes,
+                            rng=self.rng)
+        trainer = Trainer(model, self.make_training_optimizer(
+            model, scale.early_epochs))
+        trainer.fit(self.dataset.x_train, self.dataset.y_train,
+                    epochs=scale.early_epochs, batch_size=scale.batch_size,
+                    rng=self.rng)
+        return model
+
+    def quantize_and_evaluate(self, model: Sequential,
+                              policy: QuantizationPolicy) -> tuple:
+        """Steps (3)-(5): quantize per policy, optionally QAFT, evaluate.
+
+        Returns ``(accuracy, size_bits)`` of the deployed candidate.
+        """
+        scale = self.config.scale
+        apply_policy(model, policy, observer_kind=self.config.observer)
+        calibrate(model, self.dataset.x_train,
+                  batch_size=scale.batch_size)
+        if self.config.mode.qaft_in_loop and scale.qaft_epochs > 0:
+            quantization_aware_finetune(
+                model, self.dataset.x_train, self.dataset.y_train,
+                epochs=scale.qaft_epochs,
+                learning_rate=self.config.qaft_learning_rate,
+                batch_size=scale.batch_size, rng=self.rng)
+        _, accuracy = evaluate_classifier(model, self.dataset.x_test,
+                                          self.dataset.y_test)
+        size = model_size_bits(model)
+        return accuracy, size
+
+    def evaluate_candidate(self, genome: MixedPrecisionGenome,
+                           index: int) -> List[TrialResult]:
+        """Run one full trial; several results if policies_per_trial > 1."""
+        scale = self.config.scale
+        mode = self.config.mode
+        start = time.time()
+        model = self.early_train(genome)
+        _, fp_accuracy = evaluate_classifier(model, self.dataset.x_test,
+                                             self.dataset.y_test)
+        macs = count_macs(model, self.dataset.image_shape[:2])
+        params = model.num_parameters()
+
+        policies = [genome.policy]
+        for _ in range(self.config.policies_per_trial - 1):
+            policies.append(self.space.mutate_policy(genome.policy, self.rng,
+                                                     n_mutations=3))
+        snapshot = state_dict(model) if len(policies) > 1 else None
+
+        results: List[TrialResult] = []
+        for policy_index, policy in enumerate(policies):
+            if snapshot is not None and policy_index > 0:
+                remove_quantizers(model)
+                load_state_dict(model, snapshot)
+            if mode.quantize_in_loop:
+                accuracy, size = self.quantize_and_evaluate(model, policy)
+            else:
+                # post-NAS baseline: full-precision accuracy, scored
+                # against the deployment (8-bit homogeneous) size
+                accuracy = fp_accuracy
+                size = model_size_bits(model,
+                                       self.space.seed_policy(
+                                           mode.fixed_bits))
+            score = scalarize(accuracy, size, self.config.scalarization,
+                              macs=macs)
+            qaft_epochs = (scale.qaft_epochs if mode.qaft_in_loop else 0)
+            gpu_hours = self.cost_model.trial_hours(
+                macs, scale.n_train,
+                early_epochs=scale.early_epochs if policy_index == 0 else 0,
+                qaft_epochs=qaft_epochs)
+            results.append(TrialResult(
+                index=index + policy_index,
+                genome=MixedPrecisionGenome(genome.arch, policy),
+                accuracy=accuracy, fp_accuracy=fp_accuracy,
+                size_bits=size, size_kb=size / (8 * 1024),
+                score=score, macs=macs, params=params,
+                train_seconds=time.time() - start,
+                gpu_hours=gpu_hours))
+        return results
+
+    # -- the loop -------------------------------------------------------------
+    def run(self, final_training: bool = True) -> SearchResult:
+        """Run the search; optionally finally train the Pareto set."""
+        from .final_training import train_final_models  # cycle guard
+        optimizer = self.make_optimizer()
+        trials: List[TrialResult] = []
+        while len(trials) < self.config.scale.trials:
+            genome = optimizer.ask()
+            batch = self.evaluate_candidate(genome, index=len(trials))
+            for result in batch:
+                optimizer.tell(result.genome, result.score)
+                trials.append(result)
+                if self.progress is not None:
+                    self.progress(result)
+        result = SearchResult(config=self.config, trials=trials)
+        if final_training:
+            result.final_models = train_final_models(
+                self, result.pareto_trials())
+        return result

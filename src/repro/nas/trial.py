@@ -1,0 +1,84 @@
+"""Trial and final-model result records (JSON serializable)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from ..quant.policy import QuantizationPolicy
+from ..space.genome import ArchGenome, BlockGenes, MixedPrecisionGenome
+
+
+def genome_to_dict(genome: MixedPrecisionGenome) -> Dict:
+    """Portable representation of a genome."""
+    return {
+        "blocks": [list(b.as_tuple()) for b in genome.arch.blocks],
+        "conv2_filters": genome.arch.conv2_filters,
+        "policy": genome.policy.as_dict(),
+    }
+
+
+def genome_from_dict(data: Dict) -> MixedPrecisionGenome:
+    """Inverse of :func:`genome_to_dict`."""
+    blocks = tuple(
+        BlockGenes(int(k), float(a), int(e), int(n))
+        for k, a, e, n in data["blocks"])
+    arch = ArchGenome(blocks=blocks,
+                      conv2_filters=int(data["conv2_filters"]))
+    policy = QuantizationPolicy(
+        {slot: int(bits) for slot, bits in data["policy"].items()})
+    return MixedPrecisionGenome(arch, policy)
+
+
+@dataclass
+class TrialResult:
+    """One evaluated candidate inside the search loop."""
+
+    index: int
+    genome: MixedPrecisionGenome
+    accuracy: float              # evaluation accuracy (quantized if in-loop)
+    fp_accuracy: float           # accuracy right after early training
+    size_bits: int
+    size_kb: float
+    score: float
+    macs: int
+    params: int
+    train_seconds: float
+    gpu_hours: float             # simulated search cost of this trial
+
+    def as_dict(self) -> Dict:
+        data = asdict(self)
+        data["genome"] = genome_to_dict(self.genome)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrialResult":
+        data = dict(data)
+        data["genome"] = genome_from_dict(data["genome"])
+        return cls(**data)
+
+
+@dataclass
+class FinalModelResult:
+    """A Pareto-optimal candidate after final training."""
+
+    trial_index: int
+    genome: MixedPrecisionGenome
+    accuracy: float              # deployed (quantized, unless fp baseline)
+    fp_accuracy: float           # after full-precision final training
+    size_bits: int
+    size_kb: float
+    gpu_hours: float
+    candidate_accuracy: float    # the in-search accuracy it was picked on
+    candidate_size_kb: Optional[float] = None
+
+    def as_dict(self) -> Dict:
+        data = asdict(self)
+        data["genome"] = genome_to_dict(self.genome)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FinalModelResult":
+        data = dict(data)
+        data["genome"] = genome_from_dict(data["genome"])
+        return cls(**data)

@@ -1,0 +1,39 @@
+"""A small numpy neural-network framework.
+
+Provides everything BOMP-NAS needs to *actually train* its candidate
+networks: convolutions (standard and depthwise), batch norm, ReLU6,
+inverted-bottleneck blocks, losses, optimizers, a trainer, serialization
+and gradient checking.  Data layout is NHWC; all math is float32.
+"""
+
+from .blocks import ConvBNReLU, InvertedBottleneck
+from .conv import Conv2D, DepthwiseConv2D
+from .gradcheck import check_module_gradients, numerical_gradient
+from .layers import (BatchNorm2D, Dense, Flatten, GlobalAvgPool2D, ReLU,
+                     ReLU6)
+from .losses import (SoftmaxCrossEntropy, accuracy, evaluate_classifier,
+                     softmax, top_k_accuracy)
+from .module import FLOAT, Module, Parameter
+from .network import Sequential
+from .optim import (SGD, Adam, ConstantLR, CosineDecayLR, LRSchedule,
+                    Optimizer, StepDecayLR, clip_gradients)
+from .pooling import AvgPool2D, Dropout, MaxPool2D
+from .serialization import (load_state_dict, load_weights, save_weights,
+                            state_dict)
+from .trainer import Trainer, TrainHistory
+
+__all__ = [
+    "FLOAT", "Module", "Parameter",
+    "Conv2D", "DepthwiseConv2D", "Dense", "BatchNorm2D",
+    "ReLU", "ReLU6", "GlobalAvgPool2D", "Flatten",
+    "AvgPool2D", "MaxPool2D", "Dropout",
+    "ConvBNReLU", "InvertedBottleneck", "Sequential",
+    "SoftmaxCrossEntropy", "softmax", "accuracy", "top_k_accuracy",
+    "evaluate_classifier",
+    "Optimizer", "SGD", "Adam",
+    "LRSchedule", "ConstantLR", "CosineDecayLR", "StepDecayLR",
+    "clip_gradients",
+    "Trainer", "TrainHistory",
+    "state_dict", "load_state_dict", "save_weights", "load_weights",
+    "check_module_gradients", "numerical_gradient",
+]

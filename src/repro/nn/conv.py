@@ -1,0 +1,255 @@
+"""Convolution layers (standard and depthwise) with quantization hooks.
+
+Each layer owns an optional ``weight_quantizer`` and ``input_quantizer``
+(attached by :mod:`repro.quant.apply`).  When present, the forward pass runs
+on fake-quantized weights/inputs and the backward pass routes gradients
+through the quantizer's straight-through estimator.  Layers with no
+quantizers behave as plain float32 convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .initializers import he_normal, zeros
+from .module import FLOAT, Module, Parameter
+
+
+class Conv2D(Module):
+    """2-D convolution over NHWC input.
+
+    Weights have shape ``(kernel, kernel, in_channels, out_channels)``.
+    ``use_bias`` defaults to False because in MobileNetV2 every convolution
+    is followed by batch normalization.
+    """
+
+    #: axis of the weight tensor indexing output channels (for per-channel
+    #: quantization).
+    weight_channel_axis = 3
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, padding: str = "same",
+                 use_bias: bool = False,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "conv") -> None:
+        super().__init__(name)
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        if kernel <= 0 or stride <= 0:
+            raise ValueError("kernel and stride must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel * kernel * in_channels
+        self.weight = Parameter(
+            he_normal((kernel, kernel, in_channels, out_channels), fan_in, rng),
+            name=f"{name}.weight")
+        self.bias: Optional[Parameter] = None
+        if use_bias:
+            self.bias = Parameter(zeros((out_channels,)), name=f"{name}.bias")
+        self.weight_quantizer = None
+        self.input_quantizer = None
+        self._cache = None
+
+    def macs(self, in_h: int, in_w: int) -> int:
+        """Multiply-accumulate count for one input of spatial size HxW."""
+        out_h = F.conv_output_size(in_h, self.kernel, self.stride, self.padding)
+        out_w = F.conv_output_size(in_w, self.kernel, self.stride, self.padding)
+        return (out_h * out_w * self.kernel * self.kernel
+                * self.in_channels * self.out_channels)
+
+    def _effective_weight(self) -> np.ndarray:
+        if self.weight_quantizer is not None:
+            return self.weight_quantizer.forward(self.weight.data)
+        return self.weight.data
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, "
+                f"got {x.shape[3]}")
+        if self.input_quantizer is not None:
+            x = self.input_quantizer.forward(x)
+        weight = self._effective_weight()
+        if self.kernel == 1:
+            # 1x1 convolution: a per-pixel channel mix -> one BLAS matmul.
+            # This is the fast path for the expand/project/head convs that
+            # dominate MobileNetV2 compute.
+            strided = x[:, ::self.stride, ::self.stride, :]
+            n, ho, wo, c = strided.shape
+            out = strided.reshape(-1, c) @ weight.reshape(c, -1)
+            out = out.reshape(n, ho, wo, self.out_channels)
+            self._cache = ("1x1", strided, weight, x.shape)
+        else:
+            padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
+                                               self.padding)
+            patches = F.extract_patches(padded, self.kernel, self.stride)
+            out = np.einsum("nhwcij,ijcf->nhwf", patches, weight,
+                            optimize=True)
+            self._cache = ("kxk", patches, padded.shape, pad_h, pad_w,
+                           weight)
+        out = out.astype(FLOAT, copy=False)
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        grad = grad.astype(FLOAT, copy=False)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad.sum(axis=(0, 1, 2)))
+        if self._cache[0] == "1x1":
+            dx = self._backward_1x1(grad)
+        else:
+            dx = self._backward_kxk(grad)
+        if self.input_quantizer is not None:
+            dx = self.input_quantizer.backward(dx)
+        self._cache = None
+        return dx
+
+    def _backward_1x1(self, grad: np.ndarray) -> np.ndarray:
+        _, strided, weight, x_shape = self._cache
+        n, ho, wo, c = strided.shape
+        grad_flat = grad.reshape(-1, self.out_channels)
+        dweight = (strided.reshape(-1, c).T @ grad_flat).reshape(
+            1, 1, c, self.out_channels)
+        if self.weight_quantizer is not None:
+            dweight = self.weight_quantizer.backward(dweight)
+        self.weight.accumulate_grad(dweight)
+        dx_strided = (grad_flat @ weight.reshape(c, -1).T).reshape(
+            n, ho, wo, c)
+        if self.stride == 1:
+            return dx_strided.astype(FLOAT, copy=False)
+        dx = np.zeros(x_shape, dtype=FLOAT)
+        dx[:, ::self.stride, ::self.stride, :] = dx_strided
+        return dx
+
+    def _backward_kxk(self, grad: np.ndarray) -> np.ndarray:
+        _, patches, padded_shape, pad_h, pad_w, weight = self._cache
+        dweight = np.einsum("nhwcij,nhwf->ijcf", patches, grad,
+                            optimize=True)
+        if self.weight_quantizer is not None:
+            dweight = self.weight_quantizer.backward(dweight)
+        self.weight.accumulate_grad(dweight)
+        dpatches = np.einsum("nhwf,ijcf->nhwcij", grad, weight,
+                             optimize=True)
+        dx_padded = F.scatter_patches(dpatches, padded_shape, self.kernel,
+                                      self.stride)
+        return F.crop_padding(dx_padded, pad_h, pad_w)
+
+    def __repr__(self) -> str:
+        return (f"Conv2D({self.in_channels}->{self.out_channels}, "
+                f"k={self.kernel}, s={self.stride}, pad={self.padding})")
+
+
+class DepthwiseConv2D(Module):
+    """Depthwise 2-D convolution (depth multiplier 1) over NHWC input.
+
+    Weights have shape ``(kernel, kernel, channels)``; each input channel is
+    convolved with its own filter.
+    """
+
+    weight_channel_axis = 2
+
+    def __init__(self, channels: int, kernel: int, stride: int = 1,
+                 padding: str = "same",
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "dwconv") -> None:
+        super().__init__(name)
+        if channels <= 0 or kernel <= 0 or stride <= 0:
+            raise ValueError("channels, kernel and stride must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel * kernel
+        self.weight = Parameter(
+            he_normal((kernel, kernel, channels), fan_in, rng),
+            name=f"{name}.weight")
+        self.weight_quantizer = None
+        self.input_quantizer = None
+        self._cache = None
+
+    # alias so size accounting can treat both conv types uniformly
+    @property
+    def in_channels(self) -> int:
+        return self.channels
+
+    @property
+    def out_channels(self) -> int:
+        return self.channels
+
+    def macs(self, in_h: int, in_w: int) -> int:
+        out_h = F.conv_output_size(in_h, self.kernel, self.stride, self.padding)
+        out_w = F.conv_output_size(in_w, self.kernel, self.stride, self.padding)
+        return out_h * out_w * self.kernel * self.kernel * self.channels
+
+    def _effective_weight(self) -> np.ndarray:
+        if self.weight_quantizer is not None:
+            return self.weight_quantizer.forward(self.weight.data)
+        return self.weight.data
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[3] != self.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.channels} channels, "
+                f"got {x.shape[3]}")
+        if self.input_quantizer is not None:
+            x = self.input_quantizer.forward(x)
+        padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
+                                           self.padding)
+        weight = self._effective_weight()
+        # shift-and-add formulation: k^2 strided slices of the padded input
+        # each scaled by one kernel tap.  Never materializes the
+        # (N, Ho, Wo, C, k, k) patch tensor, which for wide CIFAR-100
+        # candidates would be gigabytes.
+        out_h = F.conv_output_size(x.shape[1], self.kernel, self.stride,
+                                   self.padding)
+        out_w = F.conv_output_size(x.shape[2], self.kernel, self.stride,
+                                   self.padding)
+        span_h = (out_h - 1) * self.stride + 1
+        span_w = (out_w - 1) * self.stride + 1
+        out = np.zeros((x.shape[0], out_h, out_w, self.channels),
+                       dtype=FLOAT)
+        for i in range(self.kernel):
+            for j in range(self.kernel):
+                window = padded[:, i:i + span_h:self.stride,
+                                j:j + span_w:self.stride, :]
+                out += window * weight[i, j]
+        self._cache = (padded, (span_h, span_w), pad_h, pad_w, weight)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        padded, (span_h, span_w), pad_h, pad_w, weight = self._cache
+        grad = grad.astype(FLOAT, copy=False)
+        dweight = np.zeros_like(self.weight.data)
+        dx_padded = np.zeros(padded.shape, dtype=FLOAT)
+        for i in range(self.kernel):
+            for j in range(self.kernel):
+                window = padded[:, i:i + span_h:self.stride,
+                                j:j + span_w:self.stride, :]
+                dweight[i, j] = (window * grad).sum(axis=(0, 1, 2))
+                dx_padded[:, i:i + span_h:self.stride,
+                          j:j + span_w:self.stride, :] += grad * weight[i, j]
+        if self.weight_quantizer is not None:
+            dweight = self.weight_quantizer.backward(dweight)
+        self.weight.accumulate_grad(dweight)
+        dx = F.crop_padding(dx_padded, pad_h, pad_w)
+        if self.input_quantizer is not None:
+            dx = self.input_quantizer.backward(dx)
+        self._cache = None
+        return dx
+
+    def __repr__(self) -> str:
+        return (f"DepthwiseConv2D(c={self.channels}, k={self.kernel}, "
+                f"s={self.stride}, pad={self.padding})")

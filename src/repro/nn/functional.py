@@ -1,0 +1,101 @@
+"""Stateless tensor helpers shared by the convolution layers.
+
+Convolutions use the patch-extraction ("im2col") formulation: sliding
+windows are materialized with :func:`numpy.lib.stride_tricks.sliding_window_view`
+and contracted against the kernel with :func:`numpy.einsum`.  The data layout
+is NHWC throughout the framework.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .module import FLOAT
+
+
+def same_padding(in_size: int, kernel: int, stride: int) -> Tuple[int, int]:
+    """TensorFlow-style SAME padding amounts ``(before, after)`` for one axis.
+
+    Output size is ``ceil(in_size / stride)``; when the total padding is odd
+    the extra pixel goes after (bottom/right), matching TF/Keras.
+    """
+    if in_size <= 0 or kernel <= 0 or stride <= 0:
+        raise ValueError("in_size, kernel and stride must be positive")
+    out_size = -(-in_size // stride)
+    total = max((out_size - 1) * stride + kernel - in_size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def conv_output_size(in_size: int, kernel: int, stride: int,
+                     padding: str) -> int:
+    """Spatial output size of a convolution along one axis."""
+    if padding == "same":
+        return -(-in_size // stride)
+    if padding == "valid":
+        if in_size < kernel:
+            raise ValueError(
+                f"valid conv needs input >= kernel ({in_size} < {kernel})")
+        return (in_size - kernel) // stride + 1
+    raise ValueError(f"unknown padding mode {padding!r}")
+
+
+def pad_input(x: np.ndarray, kernel: int, stride: int,
+              padding: str) -> Tuple[np.ndarray, Tuple[int, int], Tuple[int, int]]:
+    """Zero-pad an NHWC batch for a square-kernel convolution.
+
+    Returns the padded tensor and the (before, after) padding used on the
+    height and width axes so the backward pass can crop its result.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC input, got shape {x.shape}")
+    if padding == "valid":
+        return x, (0, 0), (0, 0)
+    if padding != "same":
+        raise ValueError(f"unknown padding mode {padding!r}")
+    pad_h = same_padding(x.shape[1], kernel, stride)
+    pad_w = same_padding(x.shape[2], kernel, stride)
+    if pad_h == (0, 0) and pad_w == (0, 0):
+        return x, pad_h, pad_w
+    padded = np.pad(x, ((0, 0), pad_h, pad_w, (0, 0)))
+    return padded, pad_h, pad_w
+
+
+def extract_patches(padded: np.ndarray, kernel: int,
+                    stride: int) -> np.ndarray:
+    """Sliding ``kernel x kernel`` patches of an NHWC tensor.
+
+    Returns a view (no copy) of shape ``(N, Ho, Wo, C, kh, kw)`` where
+    ``Ho``/``Wo`` already account for the stride.
+    """
+    windows = sliding_window_view(padded, (kernel, kernel), axis=(1, 2))
+    return windows[:, ::stride, ::stride]
+
+
+def scatter_patches(dpatches: np.ndarray, padded_shape: tuple,
+                    kernel: int, stride: int) -> np.ndarray:
+    """Inverse of :func:`extract_patches` for the backward pass.
+
+    Scatter-adds patch gradients of shape ``(N, Ho, Wo, C, kh, kw)`` back
+    into a zero tensor of ``padded_shape`` (the padded input shape).
+    """
+    dx = np.zeros(padded_shape, dtype=FLOAT)
+    n_out_h, n_out_w = dpatches.shape[1], dpatches.shape[2]
+    span_h = (n_out_h - 1) * stride + 1
+    span_w = (n_out_w - 1) * stride + 1
+    for i in range(kernel):
+        for j in range(kernel):
+            dx[:, i:i + span_h:stride, j:j + span_w:stride, :] += \
+                dpatches[:, :, :, :, i, j]
+    return dx
+
+
+def crop_padding(dx_padded: np.ndarray, pad_h: Tuple[int, int],
+                 pad_w: Tuple[int, int]) -> np.ndarray:
+    """Remove the padding applied by :func:`pad_input` from a gradient."""
+    h_end = dx_padded.shape[1] - pad_h[1]
+    w_end = dx_padded.shape[2] - pad_w[1]
+    return dx_padded[:, pad_h[0]:h_end, pad_w[0]:w_end, :]

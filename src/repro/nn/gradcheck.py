@@ -1,0 +1,64 @@
+"""Numerical gradient checking utilities (used by the test suite)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .module import Module
+
+
+def numerical_gradient(fn: Callable[[], float], array: np.ndarray,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``array``.
+
+    ``array`` is perturbed in place element by element; ``fn`` must read it
+    on every call (e.g. a closure over a module whose parameter it is).
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn()
+        flat[i] = original - eps
+        minus = fn()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_module_gradients(module: Module, x: np.ndarray,
+                           eps: float = 1e-3, atol: float = 1e-2,
+                           rtol: float = 5e-2) -> None:
+    """Assert analytic parameter and input gradients match finite differences.
+
+    Uses ``loss = sum(module(x))`` so the upstream gradient is all ones.
+    Raises ``AssertionError`` with the offending parameter name on mismatch.
+    """
+    module.set_training(True)
+
+    def loss() -> float:
+        return float(module.forward(x).astype(np.float64).sum())
+
+    out = module.forward(x)
+    module.zero_grad()
+    dx = module.backward(np.ones_like(out))
+
+    for param in module.parameters():
+        numeric = numerical_gradient(loss, param.data, eps)
+        analytic = param.grad
+        if analytic is None:
+            raise AssertionError(f"{param.name}: no gradient accumulated")
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"{param.name}: gradient mismatch (max abs err {worst:.4g})")
+
+    numeric_dx = numerical_gradient(loss, x, eps)
+    if not np.allclose(dx, numeric_dx, atol=atol, rtol=rtol):
+        worst = np.abs(dx - numeric_dx).max()
+        raise AssertionError(
+            f"input gradient mismatch (max abs err {worst:.4g})")

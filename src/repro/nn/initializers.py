@@ -1,0 +1,36 @@
+"""Weight initialization schemes.
+
+All initializers take an ``rng`` so that candidate training inside a NAS run
+is reproducible given the search seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import FLOAT
+
+
+def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal init — appropriate for ReLU-family activations."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(FLOAT)
+
+
+def glorot_uniform(shape: tuple, fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform init — used for the final classifier layer."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(FLOAT)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=FLOAT)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape, dtype=FLOAT)

@@ -1,0 +1,125 @@
+"""Base classes for the numpy neural-network framework.
+
+The framework follows a layer-object design: every layer is a
+:class:`Module` with an explicit ``forward``/``backward`` pair and a list of
+:class:`Parameter` objects.  There is no autograd tape; each module caches
+whatever it needs during ``forward`` and consumes the cache in ``backward``.
+This keeps the framework small, debuggable and fast enough to train the tiny
+MobileNetV2-style candidates that BOMP-NAS samples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+FLOAT = np.float32
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes:
+        data: the parameter values (float32 ndarray).
+        grad: gradient of the loss w.r.t. ``data``; ``None`` until the first
+            backward pass, reset via :meth:`zero_grad`.
+        name: human-readable identifier used in serialization and debugging.
+        trainable: frozen parameters are skipped by optimizers.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param",
+                 trainable: bool = True) -> None:
+        self.data = np.asarray(data, dtype=FLOAT)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient (creating it if absent)."""
+        grad = grad.astype(FLOAT, copy=False)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and composite blocks.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  ``backward``
+    receives the gradient of the loss w.r.t. the module output and must
+    return the gradient w.r.t. the module input, accumulating parameter
+    gradients along the way.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.training = False
+
+    # -- graph traversal -------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its submodules, in order."""
+        params: List[Parameter] = []
+        for attr in self.__dict__.values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+            elif isinstance(attr, Module):
+                params.extend(attr.parameters())
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every submodule, depth-first."""
+        yield self
+        for attr in self.__dict__.values():
+            if isinstance(attr, Module):
+                yield from attr.modules()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def set_training(self, training: bool) -> None:
+        for module in self.modules():
+            module.training = training
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        return sum(p.size for p in self.parameters()
+                   if p.trainable or not trainable_only)
+
+    # -- computation ------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

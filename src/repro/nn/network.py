@@ -1,0 +1,60 @@
+"""Sequential network container.
+
+MobileNetV2-style models are expressed as a flat sequence of modules; the
+residual connections live *inside* :class:`repro.nn.blocks.InvertedBottleneck`,
+so a sequential container is sufficient for the whole search space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .module import Module
+
+
+class Sequential(Module):
+    """Runs a list of modules in order; backward runs them in reverse."""
+
+    def __init__(self, modules: Sequence[Module], name: str = "net") -> None:
+        super().__init__(name)
+        if not modules:
+            raise ValueError("Sequential needs at least one module")
+        self.layers: List[Module] = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference-mode forward over a full array, in batches."""
+        self.set_training(False)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start:start + batch_size]))
+        return np.concatenate(outputs, axis=0)
+
+    def summary(self) -> str:
+        """Human-readable layer listing with parameter counts."""
+        lines = [f"Sequential {self.name!r}:"]
+        for i, layer in enumerate(self.layers):
+            n_params = layer.num_parameters()
+            lines.append(f"  [{i:2d}] {layer!r}  params={n_params}")
+        lines.append(f"  total params: {self.num_parameters()}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __repr__(self) -> str:
+        return f"Sequential(name={self.name!r}, n_layers={len(self.layers)})"

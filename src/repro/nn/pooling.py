@@ -1,0 +1,117 @@
+"""Additional layers: spatial pooling and dropout.
+
+Not used by the MobileNetV2 search space itself (which downsamples with
+strided convolutions and pools only globally), but part of the framework's
+public surface so downstream users can build other search spaces on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .module import FLOAT, Module
+
+
+class AvgPool2D(Module):
+    """Non-overlapping average pooling over NHWC input.
+
+    ``pool`` divides the spatial dimensions; inputs must be divisible by
+    it (explicit error otherwise — silent cropping hides bugs).
+    """
+
+    def __init__(self, pool: int = 2, name: str = "avgpool") -> None:
+        super().__init__(name)
+        if pool < 1:
+            raise ValueError("pool must be >= 1")
+        self.pool = pool
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NHWC input, got shape {x.shape}")
+        n, h, w, c = x.shape
+        p = self.pool
+        if h % p or w % p:
+            raise ValueError(
+                f"{self.name}: input {h}x{w} not divisible by pool {p}")
+        self._in_shape = x.shape
+        return x.reshape(n, h // p, p, w // p, p, c).mean(
+            axis=(2, 4)).astype(FLOAT, copy=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        n, h, w, c = self._in_shape
+        p = self.pool
+        dx = np.repeat(np.repeat(grad, p, axis=1), p, axis=2) / (p * p)
+        self._in_shape = None
+        return dx.astype(FLOAT, copy=False)
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling over NHWC input."""
+
+    def __init__(self, pool: int = 2, name: str = "maxpool") -> None:
+        super().__init__(name)
+        if pool < 1:
+            raise ValueError("pool must be >= 1")
+        self.pool = pool
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"expected NHWC input, got shape {x.shape}")
+        n, h, w, c = x.shape
+        p = self.pool
+        if h % p or w % p:
+            raise ValueError(
+                f"{self.name}: input {h}x{w} not divisible by pool {p}")
+        windows = x.reshape(n, h // p, p, w // p, p, c)
+        out = windows.max(axis=(2, 4))
+        # mask of argmax positions for the backward routing
+        mask = windows == out[:, :, None, :, None, :]
+        self._cache = (mask, x.shape)
+        return out.astype(FLOAT, copy=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        mask, shape = self._cache
+        n, h, w, c = shape
+        p = self.pool
+        # distribute gradient over (possibly tied) max positions
+        counts = mask.sum(axis=(2, 4), keepdims=True)
+        dgrid = mask / counts * grad[:, :, None, :, None, :]
+        self._cache = None
+        return dgrid.reshape(shape).astype(FLOAT, copy=False)
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0,
+                 name: str = "dropout") -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(FLOAT) / keep
+        return (x * self._mask).astype(FLOAT, copy=False)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        out = (grad * self._mask).astype(FLOAT, copy=False)
+        self._mask = None
+        return out

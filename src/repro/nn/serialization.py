@@ -1,0 +1,72 @@
+"""Weight (de)serialization and weight-vector snapshots.
+
+Weights are stored positionally (``param_0``, ``param_1``, ...) plus batch
+norm running statistics, so a model rebuilt from the same genome can reload
+a snapshot exactly.  Snapshots are also used by the NAS loop to restore the
+full-precision weights between quantization policies when several policies
+are evaluated per trial (the paper's future-work extension).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .layers import BatchNorm2D
+from .module import Module
+
+
+def state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Snapshot of all parameters and batch-norm running statistics."""
+    state: Dict[str, np.ndarray] = {}
+    for i, param in enumerate(model.parameters()):
+        state[f"param_{i}"] = param.data.copy()
+    bn_index = 0
+    for module in model.modules():
+        if isinstance(module, BatchNorm2D):
+            state[f"bn_{bn_index}_mean"] = module.running_mean.copy()
+            state[f"bn_{bn_index}_var"] = module.running_var.copy()
+            bn_index += 1
+    return state
+
+
+def load_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
+    """Restore a snapshot produced by :func:`state_dict`.
+
+    Raises ``ValueError`` on any shape or count mismatch so that loading a
+    snapshot into a model built from a different genome fails loudly.
+    """
+    params = model.parameters()
+    expected = {f"param_{i}" for i in range(len(params))}
+    missing = expected - set(state)
+    if missing:
+        raise ValueError(f"snapshot is missing parameters: {sorted(missing)}")
+    for i, param in enumerate(params):
+        data = state[f"param_{i}"]
+        if data.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for param_{i}: snapshot {data.shape} vs "
+                f"model {param.data.shape}")
+        param.data = data.copy()
+    bn_modules: List[BatchNorm2D] = [
+        m for m in model.modules() if isinstance(m, BatchNorm2D)]
+    for i, module in enumerate(bn_modules):
+        mean_key, var_key = f"bn_{i}_mean", f"bn_{i}_var"
+        if mean_key not in state or var_key not in state:
+            raise ValueError(f"snapshot is missing running stats for BN {i}")
+        if state[mean_key].shape != module.running_mean.shape:
+            raise ValueError(f"shape mismatch for BN {i} running stats")
+        module.running_mean = state[mean_key].copy()
+        module.running_var = state[var_key].copy()
+
+
+def save_weights(model: Module, path: str) -> None:
+    """Save a model snapshot to an ``.npz`` file."""
+    np.savez(path, **state_dict(model))
+
+
+def load_weights(model: Module, path: str) -> None:
+    """Load an ``.npz`` snapshot saved by :func:`save_weights`."""
+    with np.load(path) as data:
+        load_state_dict(model, dict(data))

@@ -1,0 +1,150 @@
+"""Range observers for activation calibration.
+
+Post-training quantization needs an estimate of each activation tensor's
+dynamic range.  Observers collect that estimate over calibration batches;
+the activation quantizer then freezes the observed range.  Three strategies
+are provided (min-max, moving-average min-max, percentile), matching the
+standard choices in Nagel et al., "A white paper on neural network
+quantization" (2021).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Observer:
+    """Base range observer."""
+
+    def __init__(self) -> None:
+        self.min_val: float = np.inf
+        self.max_val: float = -np.inf
+        self.n_batches: int = 0
+
+    @property
+    def calibrated(self) -> bool:
+        return self.n_batches > 0
+
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    #: smallest representable range width; narrower observed ranges are
+    #: numerically degenerate (their scale underflows float32) and are
+    #: widened to this
+    MIN_RANGE = 1e-8
+
+    def range(self) -> tuple:
+        """The calibrated ``(min, max)`` range, always containing zero.
+
+        Including zero guarantees that zero-padding and ReLU zeros are
+        exactly representable (a requirement for affine quantization).
+        """
+        if not self.calibrated:
+            raise RuntimeError(
+                f"{type(self).__name__} queried before any observation")
+        lo = min(self.min_val, 0.0)
+        hi = max(self.max_val, 0.0)
+        if hi - lo < self.MIN_RANGE:
+            hi = lo + self.MIN_RANGE
+        return lo, hi
+
+    def reset(self) -> None:
+        self.min_val = np.inf
+        self.max_val = -np.inf
+        self.n_batches = 0
+
+
+class MinMaxObserver(Observer):
+    """Tracks the global minimum and maximum over all observed batches."""
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            raise ValueError("cannot observe an empty tensor")
+        self.min_val = min(self.min_val, float(x.min()))
+        self.max_val = max(self.max_val, float(x.max()))
+        self.n_batches += 1
+
+
+class MovingAverageObserver(Observer):
+    """Exponential moving average of per-batch min/max.
+
+    Less sensitive to a single outlier batch than :class:`MinMaxObserver`;
+    the first observation initializes the average.
+    """
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            raise ValueError("cannot observe an empty tensor")
+        batch_min = float(x.min())
+        batch_max = float(x.max())
+        if self.n_batches == 0:
+            self.min_val = batch_min
+            self.max_val = batch_max
+        else:
+            self.min_val = (self.momentum * self.min_val
+                            + (1 - self.momentum) * batch_min)
+            self.max_val = (self.momentum * self.max_val
+                            + (1 - self.momentum) * batch_max)
+        self.n_batches += 1
+
+
+class PercentileObserver(Observer):
+    """Clips the range to symmetric percentiles of the observed values.
+
+    Keeps a bounded reservoir of observed values and reports the
+    ``(p, 100-p)`` percentiles, discarding extreme outliers that would
+    otherwise waste quantization levels.
+    """
+
+    def __init__(self, percentile: float = 99.9,
+                 reservoir_size: int = 100_000, seed: int = 0) -> None:
+        super().__init__()
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.percentile = percentile
+        self.reservoir_size = reservoir_size
+        self._rng = np.random.default_rng(seed)
+        self._values = np.empty(0, dtype=np.float32)
+
+    def observe(self, x: np.ndarray) -> None:
+        if x.size == 0:
+            raise ValueError("cannot observe an empty tensor")
+        flat = x.reshape(-1).astype(np.float32)
+        if flat.size > self.reservoir_size:
+            flat = self._rng.choice(flat, self.reservoir_size, replace=False)
+        self._values = np.concatenate([self._values, flat])
+        if self._values.size > self.reservoir_size:
+            keep = self._rng.choice(self._values.size, self.reservoir_size,
+                                    replace=False)
+            self._values = self._values[keep]
+        lo_p = 100.0 - self.percentile
+        self.min_val = float(np.percentile(self._values, lo_p))
+        self.max_val = float(np.percentile(self._values, self.percentile))
+        self.n_batches += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._values = np.empty(0, dtype=np.float32)
+
+
+OBSERVERS = {
+    "minmax": MinMaxObserver,
+    "moving_average": MovingAverageObserver,
+    "percentile": PercentileObserver,
+}
+
+
+def make_observer(kind: str, **kwargs) -> Observer:
+    """Factory for observers by name (``minmax``/``moving_average``/...)."""
+    if kind not in OBSERVERS:
+        raise ValueError(
+            f"unknown observer {kind!r}; choices: {sorted(OBSERVERS)}")
+    return OBSERVERS[kind](**kwargs)

@@ -1,0 +1,86 @@
+"""Mixed-precision quantization policies.
+
+A policy assigns one weight bitwidth to each *quantization slot*.  A slot is
+a named position in the architecture template (e.g. ``ib3.expand``); all
+repetitions of a block share its slots, which is what makes the policy space
+size ``5**23`` for the Table I search space (23 slots, bitwidths {4..8}).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+DEFAULT_BITWIDTH_CHOICES = (4, 5, 6, 7, 8)
+
+
+class QuantizationPolicy:
+    """Immutable mapping from slot name to weight bitwidth."""
+
+    def __init__(self, bitwidths: Mapping[str, int],
+                 allowed: Sequence[int] = DEFAULT_BITWIDTH_CHOICES) -> None:
+        if not bitwidths:
+            raise ValueError("policy needs at least one slot")
+        allowed_set = set(allowed)
+        for slot, bits in bitwidths.items():
+            if bits not in allowed_set:
+                raise ValueError(
+                    f"slot {slot!r}: bitwidth {bits} not in {sorted(allowed_set)}")
+        self._bits: Dict[str, int] = dict(bitwidths)
+        self.allowed = tuple(sorted(allowed_set))
+
+    @classmethod
+    def homogeneous(cls, slots: Iterable[str], bits: int,
+                    allowed: Sequence[int] = DEFAULT_BITWIDTH_CHOICES
+                    ) -> "QuantizationPolicy":
+        """Fixed-precision policy: every slot at the same bitwidth."""
+        return cls({slot: bits for slot in slots}, allowed=allowed)
+
+    @property
+    def slots(self) -> List[str]:
+        return list(self._bits)
+
+    def bits_for(self, slot: str) -> int:
+        if slot not in self._bits:
+            raise KeyError(f"unknown quantization slot {slot!r}")
+        return self._bits[slot]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._bits)
+
+    def mean_bits(self) -> float:
+        return sum(self._bits.values()) / len(self._bits)
+
+    def min_bits(self) -> int:
+        return min(self._bits.values())
+
+    def max_bits(self) -> int:
+        return max(self._bits.values())
+
+    def is_homogeneous(self) -> bool:
+        return self.min_bits() == self.max_bits()
+
+    def with_bits(self, slot: str, bits: int) -> "QuantizationPolicy":
+        """A copy of this policy with one slot changed."""
+        if slot not in self._bits:
+            raise KeyError(f"unknown quantization slot {slot!r}")
+        updated = dict(self._bits)
+        updated[slot] = bits
+        return QuantizationPolicy(updated, allowed=self.allowed)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantizationPolicy):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._bits.items())))
+
+    def __repr__(self) -> str:
+        if self.is_homogeneous():
+            return (f"QuantizationPolicy(homogeneous {self.min_bits()}-bit, "
+                    f"{len(self)} slots)")
+        return (f"QuantizationPolicy(mixed {self.min_bits()}-"
+                f"{self.max_bits()}-bit, {len(self)} slots)")

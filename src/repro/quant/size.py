@@ -1,0 +1,114 @@
+"""Model size-on-disk accounting.
+
+The deployed artifact stores, per weight-bearing layer:
+
+- the weight tensor at the policy's bitwidth (or 32-bit when unquantized),
+- one 32-bit scale per output channel (per-channel symmetric quantization),
+- a 32-bit (INT32) bias per output channel — batch norm is folded into the
+  preceding convolution at deployment, which turns every conv into a
+  conv-with-bias and makes the BN parameters free,
+- for quantized activations, one 32-bit scale + zero-point pair per layer.
+
+Sizes are reported in bits and in kB (1 kB = 1024 bytes, as is conventional
+for on-device model sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..nn.module import Module
+from .apply import BIAS_BITS, quantizable_layers
+from .policy import QuantizationPolicy
+
+BITS_PER_KB = 8 * 1024
+FLOAT_BITS = 32
+
+
+@dataclass
+class LayerSize:
+    """Size breakdown of a single layer."""
+
+    name: str
+    slot: Optional[str]
+    weight_bits: int
+    n_weights: int
+    weight_storage_bits: int
+    overhead_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.weight_storage_bits + self.overhead_bits
+
+
+def layer_sizes(model: Module,
+                policy: Optional[QuantizationPolicy] = None,
+                activation_bits: Optional[int] = 8) -> List[LayerSize]:
+    """Per-layer size breakdown.
+
+    If ``policy`` is given it determines the bitwidths (whether or not
+    quantizers are attached); otherwise attached quantizers are consulted,
+    falling back to 32-bit float weights.
+    """
+    sizes: List[LayerSize] = []
+    for layer in quantizable_layers(model):
+        slot = getattr(layer, "quant_slot", None)
+        if policy is not None:
+            if slot is None:
+                raise ValueError(
+                    f"layer {layer.name!r} has no quant_slot tag")
+            bits = policy.bits_for(slot)
+        elif layer.weight_quantizer is not None:
+            bits = layer.weight_quantizer.bits
+        else:
+            bits = FLOAT_BITS
+        n_weights = layer.weight.size
+        weight_storage = n_weights * bits
+        out_channels = layer.weight.shape[layer.weight_channel_axis]
+        overhead = out_channels * BIAS_BITS  # folded-BN / dense bias
+        if bits < FLOAT_BITS:
+            overhead += out_channels * FLOAT_BITS  # per-channel scales
+            if activation_bits is not None:
+                overhead += 2 * FLOAT_BITS  # activation scale + zero point
+        sizes.append(LayerSize(
+            name=layer.name, slot=slot, weight_bits=bits,
+            n_weights=n_weights, weight_storage_bits=weight_storage,
+            overhead_bits=overhead))
+    return sizes
+
+
+def model_size_bits(model: Module,
+                    policy: Optional[QuantizationPolicy] = None,
+                    activation_bits: Optional[int] = 8) -> int:
+    """Total deployed size in bits."""
+    return sum(s.total_bits for s in layer_sizes(model, policy,
+                                                 activation_bits))
+
+
+def model_size_kb(model: Module,
+                  policy: Optional[QuantizationPolicy] = None,
+                  activation_bits: Optional[int] = 8) -> float:
+    """Total deployed size in kB (1024 bytes)."""
+    return model_size_bits(model, policy, activation_bits) / BITS_PER_KB
+
+
+def size_report(model: Module,
+                policy: Optional[QuantizationPolicy] = None) -> str:
+    """Human-readable per-layer size table."""
+    sizes = layer_sizes(model, policy)
+    lines = [f"{'layer':<28} {'slot':<16} {'bits':>4} {'weights':>9} "
+             f"{'kB':>8}"]
+    for s in sizes:
+        lines.append(
+            f"{s.name:<28} {str(s.slot):<16} {s.weight_bits:>4} "
+            f"{s.n_weights:>9} {s.total_bits / BITS_PER_KB:>8.2f}")
+    total = sum(s.total_bits for s in sizes)
+    lines.append(f"{'TOTAL':<50} {total / BITS_PER_KB:>12.2f} kB")
+    return "\n".join(lines)
+
+
+def bitwidth_by_layer(model: Module,
+                      policy: QuantizationPolicy) -> Dict[str, int]:
+    """Ordered mapping of layer name -> weight bitwidth (drives Fig. 3)."""
+    return {s.name: s.weight_bits for s in layer_sizes(model, policy)}

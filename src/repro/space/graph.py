@@ -1,0 +1,106 @@
+"""Architecture graphs: genome -> networkx DAG, analysis, DOT export.
+
+Gives downstream users a structural view of a candidate: one node per
+layer with parameter/MAC annotations, edges following the data flow
+(including residual skip edges).  Useful for inspecting what the search
+found and for exporting to graphviz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from ..nn.blocks import ConvBNReLU, InvertedBottleneck
+from ..nn.conv import Conv2D, DepthwiseConv2D
+from ..nn.layers import Dense, GlobalAvgPool2D
+from ..nn.network import Sequential
+from .builder import build_model
+from .genome import ArchGenome
+
+
+def model_to_graph(model: Sequential) -> nx.DiGraph:
+    """Build a layer-level DAG of a built model.
+
+    Node attributes: ``kind``, ``params``, ``quant_slot`` (when tagged).
+    Residual bottlenecks contribute a skip edge bypassing their block.
+    """
+    graph = nx.DiGraph()
+    graph.add_node("input", kind="input", params=0)
+    previous = "input"
+    for block in model.layers:
+        if isinstance(block, InvertedBottleneck):
+            entry = previous
+            for conv in block.conv_layers():
+                name = conv.name
+                graph.add_node(name, kind=type(conv).__name__,
+                               params=conv.num_parameters(),
+                               quant_slot=getattr(conv, "quant_slot", None))
+                graph.add_edge(previous, name)
+                previous = name
+            if block.use_residual:
+                graph.add_edge(entry, previous, skip=True)
+        elif isinstance(block, ConvBNReLU):
+            name = block.conv.name
+            graph.add_node(name, kind="Conv2D",
+                           params=block.num_parameters(),
+                           quant_slot=getattr(block.conv, "quant_slot",
+                                              None))
+            graph.add_edge(previous, name)
+            previous = name
+        elif isinstance(block, (Conv2D, DepthwiseConv2D, Dense)):
+            graph.add_node(block.name, kind=type(block).__name__,
+                           params=block.num_parameters(),
+                           quant_slot=getattr(block, "quant_slot", None))
+            graph.add_edge(previous, block.name)
+            previous = block.name
+        elif isinstance(block, GlobalAvgPool2D):
+            graph.add_node(block.name, kind="GlobalAvgPool2D", params=0)
+            graph.add_edge(previous, block.name)
+            previous = block.name
+        # activation/flatten layers are structural no-ops in the DAG
+    graph.add_node("output", kind="output", params=0)
+    graph.add_edge(previous, "output")
+    return graph
+
+
+def genome_to_graph(arch: ArchGenome, num_classes: int = 10) -> nx.DiGraph:
+    """Build the DAG of a genome without keeping the model around."""
+    return model_to_graph(build_model(arch, num_classes))
+
+
+def graph_stats(graph: nx.DiGraph) -> Dict[str, float]:
+    """Structural summary: depth, width, skip count, parameter totals."""
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("architecture graph must be a DAG")
+    depth = nx.dag_longest_path_length(graph)
+    skips = sum(1 for _, _, d in graph.edges(data=True) if d.get("skip"))
+    params = sum(d.get("params", 0) for _, d in graph.nodes(data=True))
+    conv_nodes = [n for n, d in graph.nodes(data=True)
+                  if d.get("kind") in ("Conv2D", "DepthwiseConv2D")]
+    return {
+        "depth": float(depth),
+        "n_nodes": float(graph.number_of_nodes()),
+        "n_skip_edges": float(skips),
+        "total_params": float(params),
+        "n_convolutions": float(len(conv_nodes)),
+    }
+
+
+def to_dot(graph: nx.DiGraph) -> str:
+    """Graphviz DOT rendering (no pygraphviz dependency needed)."""
+    lines = ["digraph architecture {", "  rankdir=TB;",
+             '  node [shape=box, fontsize=10];']
+    for node, data in graph.nodes(data=True):
+        label = node
+        if data.get("params"):
+            label += f"\\n{data['params']} params"
+        if data.get("quant_slot"):
+            label += f"\\nslot={data['quant_slot']}"
+        lines.append(f'  "{node}" [label="{label}"];')
+    for src, dst, data in graph.edges(data=True):
+        style = ' [style=dashed, label="skip"]' if data.get("skip") else ""
+        lines.append(f'  "{src}" -> "{dst}"{style};')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Tests for the BO extensions: length-scale tuning, MACs objective."""
+
+import numpy as np
+import pytest
+
+from repro.bo import (GaussianProcess, Matern52, ScalarizationConfig,
+                      scalarize)
+
+
+def l1_pairwise(a, b=None):
+    b = a if b is None else b
+    return np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+
+
+class TestLengthScaleTuning:
+    def test_returns_candidate_and_refits(self, rng):
+        gp = GaussianProcess(Matern52(1.0), l1_pairwise, noise=1e-3)
+        x = np.linspace(0, 1, 15).reshape(-1, 1)
+        y = np.sin(4 * x[:, 0])
+        candidates = np.array([0.05, 0.2, 1.0])
+        chosen = gp.tune_length_scale(x, y, candidates)
+        assert chosen in candidates
+        assert gp.kernel.length_scale == chosen
+        assert gp.fitted
+
+    def test_prefers_scale_matching_data(self, rng):
+        """Rapidly-varying targets should pick a shorter length scale than
+        nearly-constant targets."""
+        x = np.linspace(0, 1, 20).reshape(-1, 1)
+        candidates = np.array([0.05, 2.0])
+        gp = GaussianProcess(Matern52(1.0), l1_pairwise, noise=1e-4)
+        wiggly = gp.tune_length_scale(x, np.sin(20 * x[:, 0]), candidates)
+        smooth = gp.tune_length_scale(x, 0.1 * x[:, 0], candidates)
+        assert wiggly <= smooth
+
+    def test_default_grid(self, rng):
+        gp = GaussianProcess(Matern52(1.0), l1_pairwise, noise=1e-3)
+        chosen = gp.tune_length_scale(rng.uniform(size=(8, 2)),
+                                      rng.normal(size=8))
+        assert 0.02 <= chosen <= 2.0
+
+
+class TestMacsObjective:
+    def test_disabled_by_default(self):
+        config = ScalarizationConfig()
+        base = scalarize(0.8, 1e5, config)
+        with_macs = scalarize(0.8, 1e5, config, macs=1e9)
+        assert base == with_macs  # macs ignored when ref_macs unset
+
+    def test_macs_term_added(self):
+        config = ScalarizationConfig(ref_macs=4.0)
+        score = scalarize(0.8, 1e5, config, macs=1e6)
+        base = scalarize(0.8, 1e5, ScalarizationConfig())
+        assert score == pytest.approx(base + 4.0 / 6.0)
+
+    def test_fewer_macs_higher_score(self):
+        config = ScalarizationConfig(ref_macs=4.0)
+        small = scalarize(0.8, 1e5, config, macs=1e5)
+        big = scalarize(0.8, 1e5, config, macs=1e8)
+        assert small > big
+
+    def test_missing_macs_raises(self):
+        config = ScalarizationConfig(ref_macs=4.0)
+        with pytest.raises(ValueError):
+            scalarize(0.8, 1e5, config)
+
+    def test_invalid_ref(self):
+        with pytest.raises(ValueError):
+            ScalarizationConfig(ref_macs=0.0)
+
+    def test_search_loop_threads_macs(self, unit_config, tiny_dataset):
+        """A search configured with ref_macs must produce scores that
+        include the MAC term."""
+        from dataclasses import replace
+        from repro.nas import BOMPNAS
+        config = replace(
+            unit_config,
+            scalarization=ScalarizationConfig(ref_macs=4.0))
+        result = BOMPNAS(config, tiny_dataset).run(final_training=False)
+        for trial in result.trials:
+            expected = scalarize(trial.accuracy, trial.size_bits,
+                                 config.scalarization, macs=trial.macs)
+            assert trial.score == pytest.approx(expected)

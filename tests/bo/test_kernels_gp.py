@@ -1,0 +1,129 @@
+"""Tests for kernels and the Gaussian process surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.bo import (RBF, Exponential, GaussianProcess, Matern32, Matern52,
+                      make_kernel)
+
+
+def l1_pairwise(a, b=None):
+    b = a if b is None else b
+    return np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls",
+                             [Matern52, Matern32, Exponential, RBF])
+    def test_one_at_zero_distance(self, kernel_cls):
+        kernel = kernel_cls(length_scale=0.7)
+        assert kernel(np.zeros((2, 2)))[0, 0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kernel_cls",
+                             [Matern52, Matern32, Exponential, RBF])
+    def test_monotone_decreasing(self, kernel_cls):
+        kernel = kernel_cls(length_scale=1.0)
+        d = np.linspace(0, 5, 50).reshape(1, -1)
+        values = kernel(d)[0]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert (values > 0).all()
+
+    def test_length_scale_controls_decay(self):
+        d = np.array([[1.0]])
+        short = Matern52(length_scale=0.1)(d)[0, 0]
+        long = Matern52(length_scale=10.0)(d)[0, 0]
+        assert short < long
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            Matern52()(np.array([[-1.0]]))
+
+    def test_factory(self):
+        assert isinstance(make_kernel("matern52"), Matern52)
+        assert isinstance(make_kernel("rbf", length_scale=2.0), RBF)
+        with pytest.raises(ValueError):
+            make_kernel("linear")
+
+    def test_invalid_length_scale(self):
+        with pytest.raises(ValueError):
+            Matern52(length_scale=0.0)
+
+
+class TestGaussianProcess:
+    def make_gp(self, noise=1e-6):
+        return GaussianProcess(Matern52(length_scale=1.0), l1_pairwise,
+                               noise=noise)
+
+    def test_interpolates_training_points(self, rng):
+        gp = self.make_gp()
+        x = rng.uniform(0, 1, size=(8, 3))
+        y = rng.normal(size=8)
+        gp.fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-2)
+        assert (std < 0.2).all()
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        gp = self.make_gp()
+        x = rng.uniform(0, 0.2, size=(6, 2))
+        gp.fit(x, rng.normal(size=6))
+        _, std_near = gp.predict(x[:1] + 0.01)
+        _, std_far = gp.predict(np.full((1, 2), 5.0))
+        assert std_far[0] > std_near[0]
+
+    def test_mean_reverts_to_prior_far_away(self, rng):
+        gp = self.make_gp()
+        x = rng.uniform(0, 0.2, size=(6, 2))
+        y = rng.normal(loc=3.0, size=6)
+        gp.fit(x, y)
+        mean_far, _ = gp.predict(np.full((1, 2), 50.0))
+        assert mean_far[0] == pytest.approx(y.mean(), abs=0.5)
+
+    def test_single_observation(self):
+        gp = self.make_gp()
+        gp.fit(np.zeros((1, 2)), np.array([1.5]))
+        mean, _ = gp.predict(np.zeros((1, 2)))
+        assert mean[0] == pytest.approx(1.5, abs=1e-3)
+
+    def test_constant_targets_handled(self, rng):
+        gp = self.make_gp()
+        x = rng.uniform(size=(5, 2))
+        gp.fit(x, np.full(5, 2.0))
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, 2.0, atol=1e-6)
+
+    def test_refit_replaces_data(self, rng):
+        gp = self.make_gp()
+        gp.fit(rng.uniform(size=(4, 2)), rng.normal(size=4))
+        x2 = rng.uniform(size=(6, 2))
+        y2 = rng.normal(size=6)
+        gp.fit(x2, y2)
+        assert gp.n_observations == 6
+        mean, _ = gp.predict(x2)
+        np.testing.assert_allclose(mean, y2, atol=5e-2)
+
+    def test_jitter_ladder_rescues_duplicates(self, rng):
+        gp = self.make_gp(noise=0.0)
+        x = np.zeros((4, 2))  # identical points: singular Gram
+        y = np.array([1.0, 1.1, 0.9, 1.0])
+        gp.fit(x, y)  # must not raise
+        mean, _ = gp.predict(np.zeros((1, 2)))
+        assert np.isfinite(mean[0])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            self.make_gp().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self, rng):
+        gp = self.make_gp()
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+        gp.fit(rng.uniform(size=(3, 2)), rng.normal(size=3))
+        with pytest.raises(ValueError):
+            gp.predict(np.zeros(2))
+
+    def test_std_skippable(self, rng):
+        gp = self.make_gp()
+        gp.fit(rng.uniform(size=(3, 2)), rng.normal(size=3))
+        mean, std = gp.predict(rng.uniform(size=(2, 2)), return_std=False)
+        np.testing.assert_array_equal(std, 0.0)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_dataset
+from repro.nas import SearchConfig, get_mode, get_scale
+from repro.space import SearchSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def unit_scale():
+    return get_scale("unit")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(unit_scale):
+    """A tiny 10-class dataset matching the unit scale preset."""
+    return make_synthetic_dataset(
+        "tiny-c10", num_classes=10, n_train=unit_scale.n_train,
+        n_test=unit_scale.n_test, image_size=unit_scale.image_size, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_100(unit_scale):
+    """A tiny 100-class dataset for CIFAR-100-space tests."""
+    return make_synthetic_dataset(
+        "tiny-c100", num_classes=100, n_train=unit_scale.n_train,
+        n_test=unit_scale.n_test, image_size=unit_scale.image_size, seed=4)
+
+
+@pytest.fixture(scope="session")
+def c10_space() -> SearchSpace:
+    return SearchSpace("cifar10")
+
+
+@pytest.fixture(scope="session")
+def c100_space() -> SearchSpace:
+    return SearchSpace("cifar100")
+
+
+@pytest.fixture
+def unit_config(unit_scale) -> SearchConfig:
+    return SearchConfig(dataset="cifar10", mode=get_mode("mp_qaft"),
+                        scale=unit_scale, seed=0)

@@ -1,0 +1,69 @@
+"""Tests for text rendering of tables and scatter plots."""
+
+import pytest
+
+from repro.experiments import (ascii_scatter, bitwidth_histogram,
+                               format_front, format_table)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text
+        assert "22.25" in text
+        # all rows share the same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestAsciiScatter:
+    def test_renders_points_and_legend(self):
+        text = ascii_scatter({"s1": [(10.0, 0.5), (100.0, 0.9)],
+                              "s2": [(20.0, 0.7)]})
+        assert "o=s1" in text
+        assert "x=s2" in text
+        assert text.count("o") >= 2
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(0.0, 0.5)]}, log_x=True)
+
+    def test_linear_axis_allows_zero(self):
+        text = ascii_scatter({"s": [(0.0, 0.5), (5.0, 0.7)]}, log_x=False)
+        assert "s" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": []})
+
+    def test_single_point(self):
+        text = ascii_scatter({"s": [(10.0, 0.5)]})
+        assert "o" in text
+
+
+class TestFrontAndHistogram:
+    def test_format_front(self):
+        text = format_front([(0.5, 10.0), (0.9, 100.0)], "front")
+        assert text.startswith("front:")
+        assert "10.00kB" in text
+
+    def test_bitwidth_histogram_counts(self):
+        assignments = [{"stem": 4, "conv2": 8}, {"stem": 4, "conv2": 6}]
+        text = bitwidth_histogram(assignments, [4, 5, 6, 7, 8])
+        lines = [l for l in text.splitlines() if l.startswith("stem")]
+        assert lines and "2" in lines[0]  # both models chose 4 bits for stem
+
+    def test_bitwidth_histogram_empty(self):
+        with pytest.raises(ValueError):
+            bitwidth_histogram([], [4, 8])

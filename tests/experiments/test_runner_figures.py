@@ -1,0 +1,104 @@
+"""Tests for the experiment runner (caching) and figure/table generators.
+
+These run the full generators at ``unit`` scale — slow-ish but they cover
+the exact code paths the benchmark harness exercises.
+"""
+
+import pytest
+
+from repro.experiments import (ExperimentContext, fig2, fig3, fig5, fig6,
+                               ptq_post_qaft_front, seed_point, table1,
+                               table3, table4)
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("bomp_cache")
+    return ExperimentContext("unit", seed=11, cache_dir=cache)
+
+
+class TestContext:
+    def test_dataset_memoized(self, ctx):
+        assert ctx.dataset("cifar10") is ctx.dataset("cifar10")
+        assert ctx.dataset("cifar10").num_classes == 10
+        assert ctx.dataset("cifar100").num_classes == 100
+
+    def test_config_uses_paper_references(self, ctx):
+        assert ctx.config("cifar10", "mp_qaft").scalarization \
+            .ref_model_size == 8.0
+        assert ctx.config("cifar100", "mp_qaft").scalarization \
+            .ref_model_size == 6.0
+
+    def test_search_memoized_in_memory(self, ctx):
+        a = ctx.run_search("cifar10", "mp_qaft", final_training=False)
+        b = ctx.run_search("cifar10", "mp_qaft", final_training=False)
+        assert a is b
+
+    def test_disk_cache_roundtrip(self, ctx):
+        result = ctx.run_search("cifar10", "mp_qaft", final_training=False)
+        fresh = ExperimentContext("unit", seed=11,
+                                  cache_dir=ctx.cache_dir)
+        reloaded = fresh.run_search("cifar10", "mp_qaft",
+                                    final_training=False)
+        assert len(reloaded.trials) == len(result.trials)
+        assert reloaded.trials[0].genome == result.trials[0].genome
+
+    def test_final_run_supersedes_nonfinal(self, ctx):
+        full = ctx.run_search("cifar10", "mp_qaft", final_training=True)
+        quick = ctx.run_search("cifar10", "mp_qaft", final_training=False)
+        # the quick request may be served by the richer cached run
+        assert len(quick.trials) == len(full.trials)
+
+    def test_seed_point_cached(self, ctx):
+        a = seed_point(ctx, "cifar10")
+        b = seed_point(ctx, "cifar10")
+        assert a == b
+        assert 0.0 <= a[0] <= 1.0
+        assert a[1] == pytest.approx(76.08, abs=0.2)
+
+
+class TestGenerators:
+    def test_table1_standalone(self):
+        data, text = table1()
+        assert "architectures" in text
+        assert data["cifar10"]["num_policies"] == 5 ** 23
+
+    def test_fig2_series_complete(self, ctx):
+        data, text = fig2(ctx)
+        assert set(data) >= {"early_candidates", "late_candidates",
+                             "candidate_front", "final_models",
+                             "seed_point", "equal_score_contour"}
+        assert "Fig. 2" in text
+
+    def test_fig3_assignments(self, ctx):
+        data, text = fig3(ctx)
+        assert data["assignments"]
+        assert data["bit_choices"] == [4, 5, 6, 7, 8]
+
+    def test_fig5_fronts(self, ctx):
+        data, text = fig5(ctx)
+        assert set(data["fronts"]) == {"MP PTQ-NAS", "MP PTQ-NAS (QAFT)",
+                                       "MP QAFT-NAS"}
+        assert set(data["hypervolumes"]) == set(data["fronts"])
+
+    def test_fig6_sampling_stats(self, ctx):
+        data, text = fig6(ctx)
+        assert data["mean_sampled_size"] > 0
+        assert data["qaft_mean_sampled_size"] > 0
+
+    def test_ptq_post_qaft_front_cached(self, ctx):
+        a = ptq_post_qaft_front(ctx, "cifar10")
+        b = ptq_post_qaft_front(ctx, "cifar10")
+        assert a == b
+        assert a  # non-empty
+
+    def test_table3_rows(self, ctx):
+        data, text = table3(ctx)
+        assert ("bomp", "cifar10") in data["ours"]
+        assert "BOMP-NAS (ours, simulated)" in text
+        assert "552" in text  # muNAS literature row
+
+    def test_table4_all_cells(self, ctx):
+        data, text = table4(ctx)
+        assert len(data["ours"]) == 8
+        assert all(hours > 0 for hours in data["ours"].values())

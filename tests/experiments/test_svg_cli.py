@@ -1,0 +1,101 @@
+"""Tests for the SVG renderer and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import SvgScatter, figure_to_svg
+
+
+class TestSvgScatter:
+    def make_plot(self):
+        plot = SvgScatter(title="demo")
+        plot.add("a", [(10.0, 0.5), (100.0, 0.8)], connect=True)
+        plot.add("b", [(20.0, 0.6)], marker="square")
+        return plot
+
+    def test_renders_valid_xml(self):
+        import xml.etree.ElementTree as ET
+        markup = self.make_plot().render()
+        root = ET.fromstring(markup)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_names_and_markers(self):
+        markup = self.make_plot().render()
+        assert ">a</text>" in markup
+        assert ">b</text>" in markup
+        assert "<circle" in markup
+        assert "<rect" in markup and "<path" in markup  # square + line
+
+    def test_log_axis_rejects_nonpositive(self):
+        plot = SvgScatter()
+        plot.add("bad", [(0.0, 0.5)])
+        with pytest.raises(ValueError):
+            plot.render()
+
+    def test_empty_rejects(self):
+        with pytest.raises(ValueError):
+            SvgScatter().render()
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(ValueError):
+            SvgScatter().add("x", [(1.0, 1.0)], marker="star")
+
+    def test_title_escaped(self):
+        plot = SvgScatter(title="a < b & c")
+        plot.add("s", [(1.0, 0.5)])
+        markup = plot.render()
+        assert "a &lt; b &amp; c" in markup
+
+    def test_figure_to_svg_scatter_form(self, tmp_path):
+        data = {
+            "early_candidates": [(10.0, 0.3)],
+            "late_candidates": [(20.0, 0.5)],
+            "final_models": [(15.0, 0.55)],
+            "seed_point": (0.4, 76.0),
+            "equal_score_contour": [(5.0, 0.2), (50.0, 0.6)],
+        }
+        path = tmp_path / "fig.svg"
+        markup = figure_to_svg(data, "Figure 2", path=str(path))
+        assert path.exists()
+        assert "seed (8-bit MobileNetV2)" in markup
+
+    def test_figure_to_svg_fronts_form(self):
+        data = {"fronts": {"A": [(0.5, 10.0), (0.8, 50.0)], "B": []}}
+        markup = figure_to_svg(data, "Figure 5")
+        assert ">A</text>" in markup
+        assert ">B</text>" not in markup  # empty front skipped
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["search", "--mode", "mp_ptq",
+                                  "--scale", "unit"])
+        assert args.command == "search"
+        assert args.mode == "mp_ptq"
+
+    def test_space_command(self, capsys):
+        assert main(["space", "--dataset", "cifar100"]) == 0
+        out = capsys.readouterr().out
+        assert "architectures" in out
+        assert "1.3" in out  # CIFAR-100 width menu
+
+    def test_report_table1(self, capsys):
+        assert main(["report", "table1"]) == 0
+        assert "23 slots" in capsys.readouterr().out
+
+    def test_search_and_inspect_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "result.json")
+        code = main(["search", "--scale", "unit", "--seed", "1",
+                     "--no-final-training", "--quiet",
+                     "--out", out_path])
+        assert code == 0
+        assert "result written" in capsys.readouterr().out
+        assert main(["inspect", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "candidate Pareto front" in out
+
+    def test_search_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--mode", "quantum"])

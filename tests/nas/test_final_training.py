@@ -1,0 +1,64 @@
+"""Tests for final training of Pareto-optimal candidates."""
+
+import pytest
+
+from repro.nas import BOMPNAS, SearchConfig, get_mode
+from repro.nas.final_training import train_final_model, train_final_models
+
+
+@pytest.fixture(scope="module")
+def searched(unit_scale):
+    from repro.data import make_synthetic_dataset
+    dataset = make_synthetic_dataset(
+        "ft", 10, unit_scale.n_train, unit_scale.n_test,
+        image_size=unit_scale.image_size, seed=8)
+    config = SearchConfig(scale=unit_scale, seed=3)
+    nas = BOMPNAS(config, dataset)
+    result = nas.run(final_training=False)
+    return nas, result
+
+
+class TestFinalTraining:
+    def test_final_model_fields(self, searched):
+        nas, result = searched
+        trial = result.pareto_trials()[0]
+        final = train_final_model(nas, trial)
+        assert final.trial_index == trial.index
+        assert final.genome == trial.genome
+        assert 0.0 <= final.accuracy <= 1.0
+        assert final.size_bits > 0
+        assert final.gpu_hours > 0
+        assert final.candidate_accuracy == trial.accuracy
+
+    def test_qaft_mode_applies_final_qaft_cost(self, searched):
+        nas, result = searched
+        trial = result.pareto_trials()[0]
+        with_qaft = train_final_model(nas, trial, force_qaft=True)
+        without = train_final_model(nas, trial, force_qaft=False)
+        assert with_qaft.gpu_hours > without.gpu_hours
+
+    def test_force_qaft_false_keeps_size(self, searched):
+        nas, result = searched
+        trial = result.pareto_trials()[0]
+        final = train_final_model(nas, trial, force_qaft=False)
+        assert final.size_kb == pytest.approx(trial.size_kb, rel=1e-6)
+
+    def test_train_all(self, searched):
+        nas, result = searched
+        finals = train_final_models(nas, result.pareto_trials())
+        assert len(finals) == len(result.pareto_trials())
+
+    def test_fp_baseline_deploys_8bit(self, unit_scale):
+        from repro.data import make_synthetic_dataset
+        dataset = make_synthetic_dataset(
+            "ft2", 10, unit_scale.n_train, unit_scale.n_test,
+            image_size=unit_scale.image_size, seed=8)
+        config = SearchConfig(mode=get_mode("fp_nas"), scale=unit_scale,
+                              seed=3)
+        nas = BOMPNAS(config, dataset)
+        result = nas.run(final_training=False)
+        final = train_final_model(nas, result.pareto_trials()[0])
+        # deployed at homogeneous 8-bit: size matches the trial's 8-bit
+        # scoring size
+        assert final.size_kb == pytest.approx(
+            result.pareto_trials()[0].size_kb, rel=1e-6)

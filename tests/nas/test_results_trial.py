@@ -1,0 +1,107 @@
+"""Tests for result containers, trial records and JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nas import (BOMPNAS, SearchResult, TrialResult, genome_from_dict,
+                       genome_to_dict)
+
+
+@pytest.fixture(scope="module")
+def finished_run(unit_scale):
+    from repro.data import make_synthetic_dataset
+    from repro.nas import SearchConfig
+    dataset = make_synthetic_dataset(
+        "tiny", 10, unit_scale.n_train, unit_scale.n_test,
+        image_size=unit_scale.image_size, seed=9)
+    config = SearchConfig(scale=unit_scale, seed=5)
+    return BOMPNAS(config, dataset).run(final_training=True)
+
+
+class TestGenomeSerialization:
+    def test_roundtrip(self, c10_space, rng):
+        genome = c10_space.random_genome(rng)
+        recovered = genome_from_dict(genome_to_dict(genome))
+        assert recovered == genome
+
+    def test_dict_is_json_safe(self, c10_space, rng):
+        import json
+        payload = genome_to_dict(c10_space.random_genome(rng))
+        json.dumps(payload)  # must not raise
+
+
+class TestSearchResult:
+    def test_pareto_trials_nondominated(self, finished_run):
+        from repro.bo import dominates
+        pareto = finished_run.pareto_trials()
+        assert pareto
+        for a in pareto:
+            for b in pareto:
+                if a is not b:
+                    assert not dominates((a.accuracy, a.size_kb),
+                                         (b.accuracy, b.size_kb))
+
+    def test_score_trajectory_monotone(self, finished_run):
+        trajectory = finished_run.score_trajectory()
+        assert len(trajectory) == len(finished_run.trials)
+        assert all(a <= b for a, b in zip(trajectory, trajectory[1:]))
+        assert trajectory[-1] == finished_run.best_trial().score
+
+    def test_cost_decomposition(self, finished_run):
+        assert finished_run.total_gpu_hours() == pytest.approx(
+            finished_run.search_gpu_hours()
+            + finished_run.final_training_gpu_hours())
+        assert finished_run.search_gpu_hours() > 0
+
+    def test_summary_renders(self, finished_run):
+        text = finished_run.summary()
+        assert "trials" in text
+        assert "GPU-hours" in text
+
+    def test_json_roundtrip(self, finished_run, tmp_path):
+        path = str(tmp_path / "result.json")
+        finished_run.save(path)
+        loaded = SearchResult.load(path)
+        assert len(loaded.trials) == len(finished_run.trials)
+        assert loaded.config.mode.name == finished_run.config.mode.name
+        assert loaded.config.scale.name == finished_run.config.scale.name
+        for a, b in zip(loaded.trials, finished_run.trials):
+            assert a.genome == b.genome
+            assert a.score == pytest.approx(b.score)
+        assert len(loaded.final_models) == len(finished_run.final_models)
+        for a, b in zip(loaded.final_models, finished_run.final_models):
+            assert a.genome == b.genome
+            assert a.accuracy == pytest.approx(b.accuracy)
+
+    def test_trial_dict_roundtrip(self, finished_run):
+        trial = finished_run.trials[0]
+        recovered = TrialResult.from_dict(trial.as_dict())
+        assert recovered.genome == trial.genome
+        assert recovered.score == pytest.approx(trial.score)
+
+    def test_fronts_consistent(self, finished_run):
+        candidate_front = finished_run.candidate_front()
+        assert candidate_front
+        sizes = [size for _, size in candidate_front]
+        assert sizes == sorted(sizes)
+
+    def test_best_trial_empty_raises(self, finished_run):
+        empty = SearchResult(config=finished_run.config, trials=[])
+        with pytest.raises(ValueError):
+            empty.best_trial()
+
+
+class TestFinalModels:
+    def test_final_models_deployable(self, finished_run):
+        for model in finished_run.final_models:
+            assert 0.0 <= model.accuracy <= 1.0
+            assert model.size_kb > 0
+            assert model.gpu_hours > 0
+            assert model.candidate_size_kb is not None
+
+    def test_final_size_matches_candidate_size(self, finished_run):
+        """Final training does not change the architecture or policy, so
+        deployed size must equal the in-search size."""
+        for model in finished_run.final_models:
+            assert model.size_kb == pytest.approx(model.candidate_size_kb,
+                                                  rel=1e-6)

@@ -1,0 +1,133 @@
+"""Tests for Conv2D and DepthwiseConv2D, including reference checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, DepthwiseConv2D, check_module_gradients
+
+
+def naive_conv2d(x, weight, stride, pad_h, pad_w):
+    """Straightforward loop reference for cross-checking the im2col path."""
+    x = np.pad(x, ((0, 0), pad_h, pad_w, (0, 0)))
+    n, h, w, c_in = x.shape
+    kh, kw, _, c_out = weight.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    out = np.zeros((n, out_h, out_w, c_out), dtype=np.float64)
+    for b in range(n):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = x[b, i * stride:i * stride + kh,
+                          j * stride:j * stride + kw, :]
+                for f in range(c_out):
+                    out[b, i, j, f] = (patch * weight[:, :, :, f]).sum()
+    return out
+
+
+class TestConv2D:
+    def test_matches_naive_reference(self, rng):
+        conv = Conv2D(3, 4, kernel=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 7, 7, 3)).astype(np.float32)
+        out = conv.forward(x)
+        from repro.nn.functional import same_padding
+        expected = naive_conv2d(x, conv.weight.data, 2,
+                                same_padding(7, 3, 2), same_padding(7, 3, 2))
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_output_shape_same_padding(self, rng):
+        conv = Conv2D(2, 5, kernel=3, stride=1, rng=rng)
+        out = conv.forward(rng.normal(size=(1, 9, 9, 2)).astype(np.float32))
+        assert out.shape == (1, 9, 9, 5)
+
+    def test_output_shape_stride2(self, rng):
+        conv = Conv2D(2, 5, kernel=3, stride=2, rng=rng)
+        out = conv.forward(rng.normal(size=(1, 9, 9, 2)).astype(np.float32))
+        assert out.shape == (1, 5, 5, 5)
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        conv = Conv2D(3, 2, kernel=1, rng=rng)
+        x = rng.normal(size=(1, 4, 4, 3)).astype(np.float32)
+        out = conv.forward(x)
+        expected = x.reshape(-1, 3) @ conv.weight.data.reshape(3, 2)
+        np.testing.assert_allclose(out.reshape(-1, 2), expected, rtol=1e-5)
+
+    def test_bias_added(self, rng):
+        conv = Conv2D(1, 2, kernel=1, use_bias=True, rng=rng)
+        conv.weight.data[:] = 0
+        conv.bias.data[:] = np.array([1.5, -2.0])
+        out = conv.forward(np.zeros((1, 3, 3, 1), dtype=np.float32))
+        np.testing.assert_allclose(out[0, 0, 0], [1.5, -2.0])
+
+    def test_gradients(self, rng):
+        conv = Conv2D(2, 3, kernel=3, stride=2, use_bias=True, rng=rng)
+        x = rng.normal(size=(2, 5, 5, 2)).astype(np.float32)
+        check_module_gradients(conv, x)
+
+    def test_gradients_even_kernel(self, rng):
+        conv = Conv2D(2, 2, kernel=2, stride=1, rng=rng)
+        x = rng.normal(size=(1, 4, 4, 2)).astype(np.float32)
+        check_module_gradients(conv, x)
+
+    def test_backward_before_forward_raises(self, rng):
+        conv = Conv2D(1, 1, kernel=3, rng=rng)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 4, 4, 1), dtype=np.float32))
+
+    def test_wrong_channels_raises(self, rng):
+        conv = Conv2D(3, 4, kernel=3, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 4, 4, 2), dtype=np.float32))
+
+    def test_macs(self, rng):
+        conv = Conv2D(3, 8, kernel=3, stride=1, rng=rng)
+        # 16*16 output positions * 3*3 kernel * 3 in * 8 out
+        assert conv.macs(16, 16) == 16 * 16 * 9 * 3 * 8
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 4, kernel=3)
+        with pytest.raises(ValueError):
+            Conv2D(3, 4, kernel=0)
+
+
+class TestDepthwiseConv2D:
+    def test_channels_kept_independent(self, rng):
+        dw = DepthwiseConv2D(2, kernel=3, rng=rng)
+        x = np.zeros((1, 5, 5, 2), dtype=np.float32)
+        x[..., 0] = rng.normal(size=(1, 5, 5))
+        out = dw.forward(x)
+        # channel 1 input is zero -> channel 1 output must be zero
+        np.testing.assert_array_equal(out[..., 1],
+                                      np.zeros((1, 5, 5), dtype=np.float32))
+        assert np.abs(out[..., 0]).sum() > 0
+
+    def test_matches_conv_with_diagonal_weights(self, rng):
+        """A depthwise conv equals a full conv with block-diagonal kernel."""
+        c = 3
+        dw = DepthwiseConv2D(c, kernel=3, stride=1, rng=rng)
+        full = Conv2D(c, c, kernel=3, stride=1, rng=rng)
+        full.weight.data[:] = 0
+        for ch in range(c):
+            full.weight.data[:, :, ch, ch] = dw.weight.data[:, :, ch]
+        x = rng.normal(size=(2, 6, 6, c)).astype(np.float32)
+        np.testing.assert_allclose(dw.forward(x), full.forward(x),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_gradients(self, rng):
+        dw = DepthwiseConv2D(3, kernel=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 5, 5, 3)).astype(np.float32)
+        check_module_gradients(dw, x)
+
+    def test_output_shape(self, rng):
+        dw = DepthwiseConv2D(4, kernel=5, stride=2, rng=rng)
+        out = dw.forward(rng.normal(size=(1, 10, 10, 4)).astype(np.float32))
+        assert out.shape == (1, 5, 5, 4)
+
+    def test_macs(self, rng):
+        dw = DepthwiseConv2D(8, kernel=3, stride=1, rng=rng)
+        assert dw.macs(16, 16) == 16 * 16 * 9 * 8
+
+    def test_alias_channels(self, rng):
+        dw = DepthwiseConv2D(6, kernel=3, rng=rng)
+        assert dw.in_channels == 6
+        assert dw.out_channels == 6

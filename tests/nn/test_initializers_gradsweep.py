@@ -1,0 +1,83 @@
+"""Initializer statistics and a gradient-check sweep over conv configs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import check_module_gradients
+from repro.nn.conv import Conv2D, DepthwiseConv2D
+from repro.nn.initializers import glorot_uniform, he_normal, ones, zeros
+
+
+class TestInitializers:
+    def test_he_normal_std(self, rng):
+        fan_in = 64
+        w = he_normal((2000, 8), fan_in, rng)
+        assert w.std() == pytest.approx(np.sqrt(2 / fan_in), rel=0.1)
+        assert w.mean() == pytest.approx(0.0, abs=0.01)
+        assert w.dtype == np.float32
+
+    def test_glorot_uniform_bounds(self, rng):
+        fan_in, fan_out = 30, 50
+        w = glorot_uniform((500, 50), fan_in, fan_out, rng)
+        limit = np.sqrt(6 / (fan_in + fan_out))
+        assert w.min() >= -limit
+        assert w.max() <= limit
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(zeros((2, 3)),
+                                      np.zeros((2, 3), dtype=np.float32))
+        np.testing.assert_array_equal(ones((4,)),
+                                      np.ones(4, dtype=np.float32))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            he_normal((2, 2), 0, rng)
+        with pytest.raises(ValueError):
+            glorot_uniform((2, 2), 2, 0, rng)
+
+    def test_deterministic_per_rng(self):
+        a = he_normal((5, 5), 10, np.random.default_rng(1))
+        b = he_normal((5, 5), 10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGradientSweep:
+    """Finite-difference checks across the kernel/stride grid the search
+    space actually uses (kernels 2-7, strides 1-2)."""
+
+    @pytest.mark.parametrize("kernel", [2, 3, 4, 5, 6, 7])
+    def test_depthwise_kernels(self, kernel, rng):
+        dw = DepthwiseConv2D(2, kernel=kernel, stride=1, rng=rng)
+        x = rng.normal(size=(1, 8, 8, 2)).astype(np.float32)
+        check_module_gradients(dw, x)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (5, 2),
+                                               (7, 2)])
+    def test_depthwise_strided(self, kernel, stride, rng):
+        dw = DepthwiseConv2D(2, kernel=kernel, stride=stride, rng=rng)
+        x = rng.normal(size=(1, 9, 9, 2)).astype(np.float32)
+        check_module_gradients(dw, x)
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_1x1_conv_fast_path(self, stride, rng):
+        conv = Conv2D(3, 4, kernel=1, stride=stride, rng=rng)
+        x = rng.normal(size=(2, 6, 6, 3)).astype(np.float32)
+        check_module_gradients(conv, x)
+
+    def test_odd_input_sizes(self, rng):
+        """SAME padding on odd inputs with stride 2 (the 16->8->4 chain
+        becomes 15->8->4 on some synthetic configs)."""
+        dw = DepthwiseConv2D(2, kernel=3, stride=2, rng=rng)
+        x = rng.normal(size=(1, 7, 5, 2)).astype(np.float32)
+        out = dw.forward(x)
+        assert out.shape == (1, 4, 3, 2)
+        check_module_gradients(dw, x)
+
+    def test_input_smaller_than_kernel(self, rng):
+        """SAME padding must handle feature maps smaller than the kernel
+        (a 7x7 depthwise on a 3x3 map occurs in deep strided genomes)."""
+        dw = DepthwiseConv2D(2, kernel=7, stride=1, rng=rng)
+        x = rng.normal(size=(1, 3, 3, 2)).astype(np.float32)
+        out = dw.forward(x)
+        assert out.shape == (1, 3, 3, 2)
+        check_module_gradients(dw, x)

@@ -1,0 +1,94 @@
+"""Tests for pooling layers and dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, Dropout, MaxPool2D, check_module_gradients
+
+
+class TestAvgPool2D:
+    def test_averages_windows(self):
+        pool = AvgPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = pool.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_gradients(self, rng):
+        pool = AvgPool2D(2)
+        x = rng.normal(size=(2, 4, 4, 3)).astype(np.float32)
+        check_module_gradients(pool, x)
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            AvgPool2D(3).forward(np.zeros((1, 4, 4, 1), dtype=np.float32))
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+
+class TestMaxPool2D:
+    def test_takes_maxima(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == 5.0
+        assert out[0, 1, 1, 0] == 15.0
+
+    def test_gradient_routes_to_max(self):
+        pool = MaxPool2D(2)
+        x = np.zeros((1, 2, 2, 1), dtype=np.float32)
+        x[0, 1, 1, 0] = 5.0
+        pool.forward(x)
+        dx = pool.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert dx[0, 1, 1, 0] == 1.0
+        assert dx.sum() == pytest.approx(1.0)
+
+    def test_tied_maxima_split_gradient(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 2, 2, 1), dtype=np.float32)
+        pool.forward(x)
+        dx = pool.backward(np.ones((1, 1, 1, 1), dtype=np.float32))
+        np.testing.assert_allclose(dx, 0.25)
+
+    def test_gradients_numeric(self, rng):
+        pool = MaxPool2D(2)
+        # distinct values avoid kinks at ties
+        x = rng.permutation(32).astype(np.float32).reshape(1, 4, 4, 2)
+        check_module_gradients(pool, x)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        drop = Dropout(0.5)
+        drop.set_training(False)
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(drop.forward(x), x)
+
+    def test_zeros_fraction_in_training(self, rng):
+        drop = Dropout(0.5, seed=1)
+        drop.set_training(True)
+        x = np.ones((100, 100), dtype=np.float32)
+        out = drop.forward(x)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        drop = Dropout(0.3, seed=2)
+        drop.set_training(True)
+        x = np.ones((200, 200), dtype=np.float32)
+        out = drop.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self, rng):
+        drop = Dropout(0.5, seed=3)
+        drop.set_training(True)
+        x = np.ones((10, 10), dtype=np.float32)
+        out = drop.forward(x)
+        grad = drop.backward(np.ones_like(x))
+        np.testing.assert_array_equal((out == 0), (grad == 0))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

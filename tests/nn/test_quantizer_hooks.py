@@ -1,0 +1,63 @@
+"""Tests that the quantizer hook points on layers behave uniformly."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, DepthwiseConv2D
+from repro.quant import ActivationQuantizer, WeightQuantizer
+
+
+@pytest.mark.parametrize("make_layer,x_shape", [
+    (lambda rng: Conv2D(2, 3, kernel=3, rng=rng), (2, 6, 6, 2)),
+    (lambda rng: Conv2D(2, 3, kernel=1, rng=rng), (2, 6, 6, 2)),
+    (lambda rng: DepthwiseConv2D(2, kernel=3, rng=rng), (2, 6, 6, 2)),
+    (lambda rng: Dense(4, 3, rng=rng), (5, 4)),
+])
+class TestHookUniformity:
+    def test_weight_channel_axis_valid(self, make_layer, x_shape, rng):
+        layer = make_layer(rng)
+        axis = layer.weight_channel_axis
+        assert 0 <= axis < layer.weight.data.ndim
+        assert layer.weight.data.shape[axis] == layer.out_channels
+
+    def test_weight_quantizer_changes_output(self, make_layer, x_shape,
+                                             rng):
+        layer = make_layer(rng)
+        x = rng.normal(size=x_shape).astype(np.float32)
+        float_out = layer.forward(x)
+        layer.weight_quantizer = WeightQuantizer(
+            2, channel_axis=layer.weight_channel_axis)
+        quant_out = layer.forward(x)
+        assert not np.allclose(float_out, quant_out)
+
+    def test_input_quantizer_observes_in_calibration(self, make_layer,
+                                                     x_shape, rng):
+        layer = make_layer(rng)
+        layer.input_quantizer = ActivationQuantizer(8)
+        x = rng.normal(size=x_shape).astype(np.float32)
+        layer.forward(x)
+        assert layer.input_quantizer.observer.calibrated
+
+    def test_backward_with_quantizers_produces_grads(self, make_layer,
+                                                     x_shape, rng):
+        layer = make_layer(rng)
+        layer.weight_quantizer = WeightQuantizer(
+            4, channel_axis=layer.weight_channel_axis)
+        layer.input_quantizer = ActivationQuantizer(8)
+        x = rng.normal(size=x_shape).astype(np.float32)
+        layer.forward(x)  # calibration pass
+        layer.input_quantizer.freeze()
+        out = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert layer.weight.grad is not None
+        assert np.isfinite(layer.weight.grad).all()
+
+    def test_quantized_forward_deterministic(self, make_layer, x_shape,
+                                             rng):
+        layer = make_layer(rng)
+        layer.weight_quantizer = WeightQuantizer(
+            4, channel_axis=layer.weight_channel_axis)
+        x = rng.normal(size=x_shape).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), layer.forward(x))

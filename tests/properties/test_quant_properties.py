@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the quantization substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant import (ActivationQuantizer, quantization_error,
+                         quantize_symmetric, symmetric_scale)
+
+finite_weights = arrays(
+    dtype=np.float32, shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(-100, 100, width=32))
+
+bits_strategy = st.integers(2, 16)
+
+
+class TestSymmetricQuantProperties:
+    @given(w=finite_weights, bits=bits_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_idempotent(self, w, bits):
+        q1 = quantize_symmetric(w, bits)
+        q2 = quantize_symmetric(q1, bits)
+        np.testing.assert_allclose(q1, q2, atol=1e-5, rtol=1e-5)
+
+    @given(w=finite_weights, bits=bits_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_max_abs(self, w, bits):
+        q = quantize_symmetric(w, bits)
+        # equality up to float32 rounding of (w / scale) * scale
+        bound = float(np.abs(w).max())
+        assert np.abs(q).max() <= bound * (1 + 1e-5) + 1e-6
+
+    @given(w=finite_weights, bits=bits_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_error_bounded_by_half_step(self, w, bits):
+        """Every in-range weight rounds to within half a quantization step."""
+        scale = float(symmetric_scale(w, bits))
+        q = quantize_symmetric(w, bits)
+        assert np.abs(q - w).max() <= scale / 2 + 1e-6
+
+    @given(w=finite_weights, bits=bits_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_sign_preserved(self, w, bits):
+        q = quantize_symmetric(w, bits)
+        # quantized value never flips sign (may round to zero)
+        assert ((q == 0) | (np.sign(q) == np.sign(w))).all()
+
+    @given(w=finite_weights, bits=st.integers(2, 15))
+    @settings(max_examples=60, deadline=None)
+    def test_error_within_half_step_bound(self, w, bits):
+        """MSE is bounded by the worst-case half-step rounding error.
+
+        Note: pointwise MSE is *not* monotone in bits (e.g. w = [6, 1]
+        quantizes exactly at 4 bits but not at 5); only this bound — which
+        halves per extra bit — is a theorem.
+        """
+        scale = float(symmetric_scale(w, bits))
+        mse_bound = (scale / 2) ** 2
+        assert quantization_error(w, bits) <= mse_bound * (1 + 1e-4) + 1e-12
+
+    @given(w=finite_weights, bits=bits_strategy,
+           factor=st.floats(0.01, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_equivariance(self, w, bits, factor):
+        """Quantization commutes with positive rescaling of the tensor."""
+        q = quantize_symmetric(w, bits)
+        q_scaled = quantize_symmetric(w * factor, bits)
+        np.testing.assert_allclose(q * factor, q_scaled,
+                                   rtol=1e-3, atol=1e-3 * factor)
+
+
+class TestActivationQuantProperties:
+    @given(x=arrays(dtype=np.float32, shape=st.integers(2, 50),
+                    elements=st.floats(-50, 50, width=32)),
+           bits=st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_output_within_quantization_grid(self, x, bits):
+        """Outputs live on the affine grid spanned by the (rounded)
+        zero point — the calibrated range widened by at most one step."""
+        q = ActivationQuantizer(bits)
+        q.forward(x)
+        q.freeze()
+        out = q.forward(x)
+        scale, zero_point = q.quant_params()
+        grid_lo = (0 - zero_point) * scale
+        grid_hi = (2 ** bits - 1 - zero_point) * scale
+        assert out.min() >= grid_lo - 1e-4
+        assert out.max() <= grid_hi + 1e-4
+        lo, hi = q._range
+        assert grid_lo >= lo - scale
+        assert grid_hi <= hi + scale
+
+    @given(x=arrays(dtype=np.float32, shape=st.integers(2, 50),
+                    elements=st.floats(-50, 50, width=32)))
+    @settings(max_examples=60, deadline=None)
+    def test_8bit_error_small_relative_to_range(self, x):
+        q = ActivationQuantizer(8)
+        q.forward(x)
+        q.freeze()
+        out = q.forward(x)
+        span = float(x.max() - x.min()) or 1.0
+        assert np.abs(out - x).max() <= span / 255 + 1e-5
+
+    @given(x=arrays(dtype=np.float32, shape=st.integers(2, 30),
+                    elements=st.floats(-10, 10, width=32)),
+           bits=st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_after_freeze(self, x, bits):
+        q = ActivationQuantizer(bits)
+        q.forward(x)
+        q.freeze()
+        once = q.forward(x)
+        twice = q.forward(once)
+        np.testing.assert_allclose(once, twice, atol=1e-5)

@@ -1,0 +1,146 @@
+"""Property-based tests for Pareto logic, distances, genomes, sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bo import (ScalarizationConfig, dominates, hypervolume,
+                      pareto_front, pareto_indices, scalarize)
+from repro.space import GenomeDistance, SearchSpace
+
+SPACE = SearchSpace("cifar10")
+DIST = GenomeDistance(SPACE)
+
+
+def genomes(draw, n):
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    return [SPACE.random_genome(rng) for _ in range(n)]
+
+
+points = st.lists(
+    st.tuples(st.floats(0.0, 1.0), st.floats(0.1, 1000.0)),
+    min_size=1, max_size=40)
+
+
+class TestParetoProperties:
+    @given(pts=points)
+    @settings(max_examples=100, deadline=None)
+    def test_front_mutually_nondominated(self, pts):
+        acc = [p[0] for p in pts]
+        size = [p[1] for p in pts]
+        front = pareto_front(acc, size)
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not dominates(a, b)
+
+    @given(pts=points)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_covered(self, pts):
+        acc = [p[0] for p in pts]
+        size = [p[1] for p in pts]
+        front = pareto_front(acc, size)
+        for point in pts:
+            covered = any(dominates(f, point) or f == point for f in front)
+            assert covered
+
+    @given(pts=points)
+    @settings(max_examples=100, deadline=None)
+    def test_front_sorted_and_increasing(self, pts):
+        front = pareto_front([p[0] for p in pts], [p[1] for p in pts])
+        sizes = [size for _, size in front]
+        accs = [acc for acc, _ in front]
+        assert sizes == sorted(sizes)
+        assert accs == sorted(accs)  # along a front, bigger => more accurate
+
+    @given(pts=points)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_points_never_shrinks_front_quality(self, pts):
+        acc = [p[0] for p in pts]
+        size = [p[1] for p in pts]
+        front_all = pareto_front(acc, size)
+        front_partial = pareto_front(acc[: max(1, len(acc) // 2)],
+                                     size[: max(1, len(size) // 2)])
+        ref_size = max(s for _, s in front_all + front_partial) * 1.1
+        hv_all = hypervolume(front_all, 0.0, ref_size)
+        hv_partial = hypervolume(front_partial, 0.0, ref_size)
+        assert hv_all >= hv_partial - 1e-9
+
+    @given(pts=points)
+    @settings(max_examples=50, deadline=None)
+    def test_indices_are_valid_and_unique(self, pts):
+        idx = pareto_indices([p[0] for p in pts], [p[1] for p in pts])
+        assert len(set(idx)) == len(idx)
+        assert all(0 <= i < len(pts) for i in idx)
+
+
+class TestDistanceProperties:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_metric_axioms(self, data):
+        a, b, c = genomes(data.draw, 3)
+        assert DIST(a, a) == 0.0
+        assert DIST(a, b) == pytest.approx(DIST(b, a))
+        assert DIST(a, c) <= DIST(a, b) + DIST(b, c) + 1e-12
+        assert 0.0 <= DIST(a, b) <= 1.0 + 1e-12
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_genomes_positive_distance(self, data):
+        a, b = genomes(data.draw, 2)
+        if a != b:
+            assert DIST(a, b) > 0.0
+
+
+class TestGenomeProperties:
+    @given(seed=st.integers(0, 2 ** 31), n_mut=st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_mutation_closed_under_space(self, seed, n_mut):
+        rng = np.random.default_rng(seed)
+        genome = SPACE.random_genome(rng)
+        mutant = SPACE.mutate(genome, rng, n_mutations=n_mut)
+        SPACE.validate(mutant)
+
+    @given(seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=50, deadline=None)
+    def test_crossover_closed_under_space(self, seed):
+        rng = np.random.default_rng(seed)
+        a = SPACE.random_genome(rng)
+        b = SPACE.random_genome(rng)
+        SPACE.validate(SPACE.crossover(a, b, rng))
+
+    @given(seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_roundtrip_stability(self, seed):
+        rng = np.random.default_rng(seed)
+        g = SPACE.random_genome(rng)
+        v1 = SPACE.encode(g)
+        v2 = SPACE.encode(g)
+        np.testing.assert_array_equal(v1, v2)
+        assert (v1 >= 0).all() and (v1 <= 1).all()
+
+
+class TestScalarizationProperties:
+    CONFIG = ScalarizationConfig()
+
+    @given(acc=st.floats(0.0, 1.0), size=st.floats(100.0, 1e9))
+    @settings(max_examples=100, deadline=None)
+    def test_finite(self, acc, size):
+        assert np.isfinite(scalarize(acc, size, self.CONFIG))
+
+    @given(acc=st.floats(0.0, 0.99), size=st.floats(100.0, 1e9),
+           delta=st.floats(0.001, 0.01))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_accuracy(self, acc, size, delta):
+        better = min(1.0, acc + delta)
+        assert scalarize(better, size, self.CONFIG) > \
+            scalarize(acc, size, self.CONFIG)
+
+    @given(acc=st.floats(0.0, 1.0), size=st.floats(100.0, 1e8),
+           factor=st.floats(1.01, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_size(self, acc, size, factor):
+        assert scalarize(acc, size, self.CONFIG) > \
+            scalarize(acc, size * factor, self.CONFIG)

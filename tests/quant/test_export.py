@@ -1,0 +1,98 @@
+"""Tests for the binary deployment exporter (bit-packing and roundtrip)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (apply_policy, calibrate, export_model,
+                         exported_size_kb, import_model, model_size_kb,
+                         pack_bits, unpack_bits, verify_roundtrip)
+from repro.space import SearchSpace, build_model
+
+
+@pytest.fixture
+def quantized_model(c10_space, rng, tiny_dataset):
+    model = build_model(c10_space.seed_arch(), 10, rng=rng)
+    apply_policy(model, c10_space.seed_policy(4))
+    calibrate(model, tiny_dataset.x_train[:32])
+    return model
+
+
+class TestBitPacking:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 5, 7, 8, 12])
+    def test_roundtrip_random_codes(self, bits, rng):
+        codes = rng.integers(0, 2 ** bits, size=137).astype(np.uint64)
+        packed = pack_bits(codes, bits)
+        recovered = unpack_bits(packed, bits, len(codes))
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_packed_length_is_dense(self, rng):
+        codes = rng.integers(0, 16, size=100).astype(np.uint64)
+        packed = pack_bits(codes, 4)
+        assert len(packed) == 50  # 100 x 4 bits = 50 bytes
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([16], dtype=np.uint64), 4)
+
+    def test_empty(self):
+        assert pack_bits(np.array([], dtype=np.uint64), 4) == b""
+        assert unpack_bits(b"", 4, 0).size == 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0], dtype=np.uint64), 0)
+
+
+class TestExport:
+    def test_requires_quantized_model(self, c10_space, rng):
+        model = build_model(c10_space.seed_arch(), 10, rng=rng)
+        with pytest.raises(ValueError):
+            export_model(model)
+
+    def test_roundtrip_exact(self, quantized_model):
+        data = export_model(quantized_model)
+        errors = verify_roundtrip(quantized_model, data)
+        assert errors  # every quantized layer checked
+        assert max(errors.values()) < 1e-5
+
+    def test_container_parses(self, quantized_model):
+        data = export_model(quantized_model)
+        layers = import_model(data)
+        assert len(layers) == 23  # seed arch instantiates all slots
+        for layer in layers:
+            assert layer.bits == 4
+            assert layer.scales.size == layer.shape[layer.channel_axis]
+            assert layer.activation is not None  # calibrated
+
+    def test_real_size_matches_accounting(self, quantized_model):
+        """The actual artifact byte length must track the analytic size
+        model within a small overhead (headers, padding)."""
+        data = export_model(quantized_model)
+        real_kb = exported_size_kb(data)
+        analytic_kb = model_size_kb(quantized_model)
+        assert real_kb == pytest.approx(analytic_kb, rel=0.10)
+
+    def test_lower_bits_smaller_artifact(self, c10_space, rng,
+                                         tiny_dataset):
+        sizes = {}
+        for bits in (4, 8):
+            model = build_model(c10_space.seed_arch(), 10, rng=rng)
+            apply_policy(model, c10_space.seed_policy(bits))
+            calibrate(model, tiny_dataset.x_train[:32])
+            sizes[bits] = len(export_model(model))
+        assert sizes[4] < sizes[8]
+
+    def test_bad_magic_rejected(self, quantized_model):
+        data = export_model(quantized_model)
+        with pytest.raises(ValueError):
+            import_model(b"XXXX" + data[4:])
+
+    def test_mixed_policy_respected(self, c10_space, rng, tiny_dataset):
+        policy = c10_space.seed_policy(8).with_bits("conv2", 4)
+        model = build_model(c10_space.seed_arch(), 10, rng=rng)
+        apply_policy(model, policy)
+        calibrate(model, tiny_dataset.x_train[:32])
+        layers = import_model(export_model(model))
+        bits_by_name = {l.name: l.bits for l in layers}
+        assert bits_by_name["conv2.conv"] == 4
+        assert bits_by_name["stem.conv"] == 8

@@ -1,0 +1,108 @@
+"""Tests for calibration observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (MinMaxObserver, MovingAverageObserver,
+                         PercentileObserver, make_observer)
+
+
+class TestMinMaxObserver:
+    def test_tracks_extremes_across_batches(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        lo, hi = obs.range()
+        assert lo == -3.0
+        assert hi == 2.0
+
+    def test_range_includes_zero(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([5.0, 6.0]))
+        lo, hi = obs.range()
+        assert lo == 0.0
+        assert hi == 6.0
+
+    def test_unobserved_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().range()
+
+    def test_empty_tensor_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxObserver().observe(np.array([]))
+
+    def test_reset(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0]))
+        obs.reset()
+        assert not obs.calibrated
+
+    def test_degenerate_range_widened(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([0.0, 0.0]))
+        lo, hi = obs.range()
+        assert hi > lo
+
+
+class TestMovingAverageObserver:
+    def test_first_batch_initializes(self):
+        obs = MovingAverageObserver(momentum=0.9)
+        obs.observe(np.array([-1.0, 4.0]))
+        assert obs.min_val == -1.0
+        assert obs.max_val == 4.0
+
+    def test_outlier_damped(self):
+        obs = MovingAverageObserver(momentum=0.9)
+        for _ in range(10):
+            obs.observe(np.array([-1.0, 1.0]))
+        obs.observe(np.array([-1.0, 100.0]))
+        assert obs.max_val < 12.0  # single outlier does not dominate
+
+    def test_converges_to_stationary(self):
+        obs = MovingAverageObserver(momentum=0.5)
+        for _ in range(30):
+            obs.observe(np.array([-2.0, 3.0]))
+        assert obs.min_val == pytest.approx(-2.0, abs=1e-6)
+        assert obs.max_val == pytest.approx(3.0, abs=1e-6)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MovingAverageObserver(momentum=1.0)
+
+
+class TestPercentileObserver:
+    def test_clips_outliers(self, rng):
+        obs = PercentileObserver(percentile=99.0)
+        data = rng.normal(size=100_000).astype(np.float32)
+        data[0] = 1000.0
+        obs.observe(data)
+        assert obs.max_val < 10.0
+
+    def test_tighter_than_minmax(self, rng):
+        data = rng.normal(size=50_000).astype(np.float32)
+        pct = PercentileObserver(percentile=99.0)
+        mm = MinMaxObserver()
+        pct.observe(data)
+        mm.observe(data)
+        assert pct.max_val < mm.max_val
+        assert pct.min_val > mm.min_val
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=40.0)
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_observer("minmax"), MinMaxObserver)
+        assert isinstance(make_observer("moving_average"),
+                          MovingAverageObserver)
+        assert isinstance(make_observer("percentile"), PercentileObserver)
+
+    def test_kwargs_forwarded(self):
+        obs = make_observer("percentile", percentile=95.0)
+        assert obs.percentile == 95.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_observer("median")

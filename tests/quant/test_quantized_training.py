@@ -1,0 +1,101 @@
+"""Tests for training *through* quantizers (the STE path end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, ConstantLR, Conv2D, Dense, GlobalAvgPool2D,
+                      Sequential, SoftmaxCrossEntropy, Trainer,
+                      check_module_gradients)
+from repro.quant import ActivationQuantizer, WeightQuantizer
+
+
+def quantized_conv(rng, bits=4):
+    conv = Conv2D(2, 3, kernel=3, rng=rng)
+    conv.weight_quantizer = WeightQuantizer(bits, channel_axis=3)
+    return conv
+
+
+class TestSTEGradients:
+    def test_weight_ste_gradient_flows(self, rng):
+        conv = quantized_conv(rng)
+        conv.set_training(True)
+        x = rng.normal(size=(2, 5, 5, 2)).astype(np.float32)
+        out = conv.forward(x)
+        conv.zero_grad()
+        conv.backward(np.ones_like(out))
+        assert conv.weight.grad is not None
+        assert np.abs(conv.weight.grad).sum() > 0
+
+    def test_forward_uses_quantized_weights(self, rng):
+        conv = quantized_conv(rng, bits=2)
+        x = rng.normal(size=(1, 5, 5, 2)).astype(np.float32)
+        quantized_out = conv.forward(x)
+        conv.weight_quantizer = None
+        float_out = conv.forward(x)
+        assert not np.allclose(quantized_out, float_out)
+
+    def test_activation_quantizer_gradcheck_interior(self, rng):
+        """With inputs strictly inside the calibrated range, fake-quant is
+        piecewise constant — STE passes gradient through; the analytic
+        input gradient of the surrounding conv must still be usable (we
+        check the conv's weight gradient against finite differences of the
+        *quantized* loss is NOT expected to match, so instead verify the
+        mask semantics)."""
+        q = ActivationQuantizer(8)
+        x = rng.uniform(-1, 1, size=(4, 4)).astype(np.float32)
+        q.forward(x)
+        q.freeze()
+        q.forward(x)
+        grad = rng.normal(size=(4, 4)).astype(np.float32)
+        out_grad = q.backward(grad)
+        np.testing.assert_array_equal(out_grad, grad)  # all in range
+
+    def test_dense_with_quantizers_trains(self, rng):
+        dense = Dense(4, 2, rng=rng)
+        dense.weight_quantizer = WeightQuantizer(4, channel_axis=1)
+        x = rng.normal(size=(64, 4)).astype(np.float32)
+        labels = (x[:, 0] > 0).astype(np.int64)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD([dense.weight, dense.bias], ConstantLR(0.1))
+        losses = []
+        for _ in range(30):
+            logits = dense.forward(x)
+            losses.append(loss_fn.forward(logits, labels))
+            dense.weight.zero_grad()
+            dense.bias.zero_grad()
+            dense.backward(loss_fn.backward())
+            opt.step()
+        assert losses[-1] < losses[0]
+
+
+class TestQuantizedNetworkTraining:
+    def test_network_trains_through_fake_quant(self, rng):
+        """A small quantized network must still reduce its loss — the
+        property QAFT depends on."""
+        conv = Conv2D(3, 4, kernel=3, rng=rng)
+        conv.weight_quantizer = WeightQuantizer(4, channel_axis=3)
+        dense = Dense(4, 2, rng=rng)
+        dense.weight_quantizer = WeightQuantizer(4, channel_axis=1)
+        net = Sequential([conv, GlobalAvgPool2D(), dense])
+        x = rng.normal(size=(64, 6, 6, 3)).astype(np.float32)
+        labels = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+        trainer = Trainer(net, SGD(net.parameters(), ConstantLR(0.1)))
+        history = trainer.fit(x, labels, epochs=10, batch_size=16, rng=rng)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_latent_weights_stay_float(self, rng):
+        """QAFT keeps full-precision latent weights; only the forward view
+        is quantized."""
+        conv = quantized_conv(rng, bits=2)
+        conv.set_training(True)
+        x = rng.normal(size=(8, 5, 5, 2)).astype(np.float32)
+        opt = SGD([conv.weight], ConstantLR(0.05))
+        for _ in range(3):
+            out = conv.forward(x)
+            conv.zero_grad()
+            conv.backward(np.ones_like(out))
+            opt.step()
+        w = conv.weight.data
+        q = conv.weight_quantizer.forward(w)
+        # latent weights have drifted off the 2-bit grid
+        assert not np.allclose(w, q)

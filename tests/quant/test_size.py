@@ -1,0 +1,77 @@
+"""Tests for model size-on-disk accounting."""
+
+import pytest
+
+from repro.quant import (BITS_PER_KB, apply_policy, bitwidth_by_layer,
+                         calibrate, layer_sizes, model_size_bits,
+                         model_size_kb, size_report)
+from repro.space import SearchSpace, build_model
+
+
+@pytest.fixture
+def seed_model(c10_space, rng):
+    return build_model(c10_space.seed_arch(), num_classes=10, rng=rng)
+
+
+class TestModelSize:
+    def test_seed_at_8bit_matches_paper_table2(self, seed_model, c10_space):
+        """The 8-bit seed MobileNetV2 weighs 76.08 kB in the paper's
+        Table II; our accounting convention lands on the same value."""
+        kb = model_size_kb(seed_model, c10_space.seed_policy(8))
+        assert kb == pytest.approx(76.08, abs=0.15)
+
+    def test_4bit_roughly_halves_8bit(self, seed_model, c10_space):
+        kb8 = model_size_kb(seed_model, c10_space.seed_policy(8))
+        kb4 = model_size_kb(seed_model, c10_space.seed_policy(4))
+        # overheads (biases/scales) keep it above exactly half
+        assert 0.5 < kb4 / kb8 < 0.75
+
+    def test_float_baseline_larger(self, seed_model, c10_space):
+        fp_bits = model_size_bits(seed_model)  # no quantizers attached
+        q_bits = model_size_bits(seed_model, c10_space.seed_policy(8))
+        assert fp_bits > q_bits
+
+    def test_policy_and_attached_quantizers_agree(self, seed_model,
+                                                  c10_space, tiny_dataset):
+        policy = c10_space.seed_policy(5)
+        from_policy = model_size_bits(seed_model, policy)
+        apply_policy(seed_model, policy)
+        calibrate(seed_model, tiny_dataset.x_train[:32])
+        from_quantizers = model_size_bits(seed_model)
+        assert from_policy == from_quantizers
+
+    def test_bits_kb_conversion(self, seed_model, c10_space):
+        policy = c10_space.seed_policy(8)
+        bits = model_size_bits(seed_model, policy)
+        assert model_size_kb(seed_model, policy) == bits / BITS_PER_KB
+
+    def test_layer_sizes_sum_to_total(self, seed_model, c10_space):
+        policy = c10_space.seed_policy(6)
+        sizes = layer_sizes(seed_model, policy)
+        assert sum(s.total_bits for s in sizes) == \
+            model_size_bits(seed_model, policy)
+
+    def test_every_quantizable_layer_listed(self, seed_model, c10_space):
+        sizes = layer_sizes(seed_model, c10_space.seed_policy(8))
+        slots = {s.slot for s in sizes}
+        # the seed arch instantiates every slot exactly once
+        assert slots == set(c10_space.slot_names)
+
+    def test_mixed_policy_changes_per_layer_bits(self, seed_model,
+                                                 c10_space):
+        policy = c10_space.seed_policy(8).with_bits("conv2", 4)
+        by_layer = bitwidth_by_layer(seed_model, policy)
+        conv2_entries = [b for name, b in by_layer.items()
+                         if name.startswith("conv2")]
+        assert conv2_entries == [4]
+        assert set(by_layer.values()) == {4, 8}
+
+    def test_size_report_renders(self, seed_model, c10_space):
+        report = size_report(seed_model, c10_space.seed_policy(8))
+        assert "TOTAL" in report
+        assert "stem" in report
+
+    def test_lower_bits_monotone_smaller(self, seed_model, c10_space):
+        sizes = [model_size_bits(seed_model, c10_space.seed_policy(b))
+                 for b in (4, 5, 6, 7, 8)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))

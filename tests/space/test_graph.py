@@ -1,0 +1,60 @@
+"""Tests for the architecture-graph module."""
+
+import networkx as nx
+import pytest
+
+from repro.space import (genome_to_graph, graph_stats, model_to_graph,
+                         to_dot)
+from repro.space.builder import build_model
+
+
+class TestModelToGraph:
+    def test_seed_graph_structure(self, c10_space, rng):
+        graph = genome_to_graph(c10_space.seed_arch())
+        assert nx.is_directed_acyclic_graph(graph)
+        # input + 23 convs/dense + gap + output
+        assert graph.number_of_nodes() == 26
+        assert graph.has_node("input")
+        assert graph.has_node("output")
+
+    def test_skip_edges_match_residuals(self, c10_space, rng):
+        model = build_model(c10_space.seed_arch(), 10, rng=rng)
+        graph = model_to_graph(model)
+        from repro.nn import InvertedBottleneck
+        n_residual = sum(1 for b in model.layers
+                         if isinstance(b, InvertedBottleneck)
+                         and b.use_residual)
+        skips = sum(1 for _, _, d in graph.edges(data=True)
+                    if d.get("skip"))
+        assert skips == n_residual
+
+    def test_params_annotated(self, c10_space, rng):
+        model = build_model(c10_space.seed_arch(), 10, rng=rng)
+        graph = model_to_graph(model)
+        stats = graph_stats(graph)
+        # graph counts conv sub-block params (incl. BN of ConvBNReLU)
+        assert stats["total_params"] > 0
+        assert stats["n_convolutions"] == 22  # 23 layers - 1 dense
+
+    def test_quant_slots_on_nodes(self, c10_space, rng):
+        graph = genome_to_graph(c10_space.seed_arch())
+        slots = {d.get("quant_slot") for _, d in graph.nodes(data=True)}
+        assert "stem" in slots
+        assert "classifier" in slots
+
+    def test_single_path_without_residuals(self, c10_space, rng):
+        stats = graph_stats(genome_to_graph(c10_space.seed_arch()))
+        # depth equals the longest chain: input -> 23 layers -> gap -> out
+        assert stats["depth"] == 25
+
+
+class TestDot:
+    def test_dot_renders(self, c10_space):
+        dot = to_dot(genome_to_graph(c10_space.seed_arch()))
+        assert dot.startswith("digraph")
+        assert '"input"' in dot
+        assert "skip" in dot  # seed has residual blocks
+
+    def test_dot_balanced_braces(self, c10_space):
+        dot = to_dot(genome_to_graph(c10_space.seed_arch()))
+        assert dot.count("{") == dot.count("}")
