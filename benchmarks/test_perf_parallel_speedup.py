@@ -1,0 +1,33 @@
+"""Serial vs parallel trial-evaluation wall-clock benchmark.
+
+Runs the same smoke-scale search with ``workers=1`` and with a worker
+pool, asserts the two results are bit-identical, and appends the timing
+record to ``BENCH_parallel.json`` so the perf trajectory is measurable
+across PRs.  The speedup assertion only applies on multi-core hosts —
+on a single CPU the pool can only add overhead.
+
+Marked ``slow``: run explicitly with ``pytest benchmarks -m slow``.
+"""
+
+import pytest
+
+from repro.parallel import (append_bench_record, default_bench_path,
+                            default_workers, measure_speedup)
+
+
+@pytest.mark.slow
+def test_parallel_speedup_recorded():
+    workers = max(2, default_workers())
+    record = measure_speedup(scale="smoke", dataset="cifar10",
+                             mode="mp_qaft", seed=7, workers=workers)
+    append_bench_record(default_bench_path(), record)
+
+    assert record["identical"], (
+        "parallel search must be bit-identical to serial")
+    assert record["serial_s"] > 0 and record["parallel_s"] > 0
+    if record["cpu_count"] >= 2:
+        # conservative bound: pool + pickling overhead must not eat the
+        # whole multi-core win on the smoke protocol
+        assert record["speedup"] >= 1.1, (
+            f"expected >=1.1x speedup on {record['cpu_count']} CPUs, "
+            f"got {record['speedup']}x")

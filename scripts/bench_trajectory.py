@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Measure serial-vs-parallel search wall-clock and log the trajectory.
+
+Appends one record per invocation to ``BENCH_parallel.json`` (stable
+schema, see :mod:`repro.parallel.bench`) so successive PRs can compare
+timings::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --scale smoke
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.parallel import (append_bench_record, default_bench_path,
+                            default_workers, measure_speedup)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--dataset", choices=("cifar10", "cifar100"),
+                        default="cifar10")
+    parser.add_argument("--mode", default="mp_qaft")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: CPU count, capped at 8)")
+    parser.add_argument("--trial-batch", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="bench log path (default: BENCH_parallel.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    workers = args.workers if args.workers is not None else default_workers()
+    record = measure_speedup(scale=args.scale, dataset=args.dataset,
+                             mode=args.mode, seed=args.seed,
+                             workers=workers, batch_size=args.trial_batch)
+    path = Path(args.out) if args.out else default_bench_path()
+    append_bench_record(path, record)
+    print(json.dumps(record, indent=2))
+    print(f"appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

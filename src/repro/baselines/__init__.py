@@ -1,6 +1,6 @@
 """Comparator implementations and literature reference numbers."""
 
-from .evolution import AgingEvolution
+from .evolution import AgingEvolution, evolved_trials
 from .jasq import JASQSearch
 from .micronas import MicroNASSearch, constrained_score
 from .reference import (TABLE2_BOMP_PAPER, TABLE2_REFERENCES,
@@ -9,7 +9,8 @@ from .reference import (TABLE2_BOMP_PAPER, TABLE2_REFERENCES,
 from .sequential import SequentialSearch
 
 __all__ = [
-    "AgingEvolution", "JASQSearch", "MicroNASSearch", "constrained_score",
+    "AgingEvolution", "evolved_trials", "JASQSearch", "MicroNASSearch",
+    "constrained_score",
     "SequentialSearch",
     "SotaEntry", "SearchCostEntry", "table2_rows",
     "TABLE2_REFERENCES", "TABLE2_BOMP_PAPER",

@@ -11,11 +11,16 @@ introduced to fix.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Deque, Iterator, List, Optional,
+                    Tuple)
 
 import numpy as np
 
 from ..space.genome import MixedPrecisionGenome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..nas.search import BOMPNAS
+    from ..nas.trial import TrialResult
 
 SampleFn = Callable[[np.random.Generator], MixedPrecisionGenome]
 MutateFn = Callable[[MixedPrecisionGenome, np.random.Generator],
@@ -67,6 +72,18 @@ class AgingEvolution:
                      key=lambda entry: entry[1])[0]
         return self.mutate_fn(parent, self.rng)
 
+    def ask_batch(self, q: int) -> List[MixedPrecisionGenome]:
+        """Propose ``q`` genomes for concurrent evaluation.
+
+        Each proposal runs its own tournament against the *current*
+        population — no fantasy updates are needed because aging evolution
+        never conditions a proposal on pending evaluations.
+        ``ask_batch(1)`` is exactly one :meth:`ask`.
+        """
+        if q < 1:
+            raise ValueError("batch size must be >= 1")
+        return [self.ask() for _ in range(q)]
+
     def tell(self, genome: MixedPrecisionGenome, score: float) -> None:
         """Record an evaluation; evicts the oldest member when full."""
         if not np.isfinite(score):
@@ -81,12 +98,68 @@ class AgingEvolution:
             raise RuntimeError("no evaluations recorded")
         return max(self._history, key=lambda entry: entry[1])
 
-    def run(self, evaluate: EvaluateFn, n_evaluations: int
+    def run(self, evaluate: EvaluateFn, n_evaluations: int,
+            batch_size: int = 1, map_fn: Optional[Callable] = None
             ) -> List[Tuple[MixedPrecisionGenome, float]]:
-        """Drive the full loop for ``n_evaluations`` evaluations."""
+        """Drive the full loop for ``n_evaluations`` evaluations.
+
+        With ``batch_size > 1``, whole batches are proposed up front and
+        evaluated through ``map_fn`` (builtin ``map`` by default — pass a
+        pool's ``map`` for parallel evaluation); results are told back in
+        proposal order, so the trajectory is independent of the mapper.
+        """
         if n_evaluations <= 0:
             raise ValueError("n_evaluations must be positive")
-        for _ in range(n_evaluations):
-            genome = self.ask()
-            self.tell(genome, evaluate(genome))
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        mapper = map_fn if map_fn is not None else map
+        done = 0
+        while done < n_evaluations:
+            genomes = self.ask_batch(min(batch_size, n_evaluations - done))
+            for genome, score in zip(genomes, list(mapper(evaluate,
+                                                          genomes))):
+                self.tell(genome, score)
+            done += len(genomes)
         return self.history
+
+
+def evolved_trials(evaluator: "BOMPNAS", evolution: AgingEvolution,
+                   total: int, workers: int = 1,
+                   batch_size: Optional[int] = None
+                   ) -> Iterator["TrialResult"]:
+    """Drive an evolutionary search through a parallel trial engine.
+
+    Proposes candidates in batches from ``evolution`` and evaluates each
+    batch with the shared BOMP-NAS trial pipeline — on a process pool when
+    ``workers > 1``.  Yields :class:`TrialResult`\\ s in proposal order;
+    the *caller* tells the evolution its scores between yields (JASQ tells
+    the Eq. 1 score, μNAS a constrained one), and the next batch is only
+    proposed after every result of the previous one was consumed.
+    Deterministic per-trial seeding makes the yielded trials identical for
+    any ``workers`` value.
+    """
+    from ..parallel.engine import (DEFAULT_TRIAL_BATCH, TrialEngine,
+                                   TrialSpec)
+    from ..parallel.seeding import trial_seed
+    config = evaluator.config
+    per_candidate = config.policies_per_trial
+    proposal_batch = max(1, batch_size if batch_size is not None
+                         else DEFAULT_TRIAL_BATCH)
+    produced = 0
+    engine = TrialEngine(config, evaluator.dataset, workers=workers,
+                         cost_model=evaluator.cost_model,
+                         space=evaluator.space, evaluator=evaluator)
+    with engine:
+        while produced < total:
+            base = produced
+            remaining = -(-(total - base) // per_candidate)
+            genomes = evolution.ask_batch(min(proposal_batch, remaining))
+            specs = [
+                TrialSpec(index=base + j * per_candidate, genome=genome,
+                          seed=trial_seed(config.seed,
+                                          base + j * per_candidate))
+                for j, genome in enumerate(genomes)]
+            for batch in engine.evaluate(specs):
+                for result in batch:
+                    yield result
+                    produced += 1

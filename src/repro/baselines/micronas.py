@@ -22,7 +22,7 @@ from ..nas.cost import CostModel
 from ..nas.results import SearchResult
 from ..nas.search import BOMPNAS, ProgressFn
 from ..nas.trial import TrialResult
-from .evolution import AgingEvolution
+from .evolution import AgingEvolution, evolved_trials
 
 
 def constrained_score(accuracy: float, size_kb: float,
@@ -54,7 +54,8 @@ class MicroNASSearch:
         self.population_size = population_size
         self.tournament_size = tournament_size
 
-    def run(self, final_training: bool = True) -> SearchResult:
+    def run(self, final_training: bool = True, workers: int = 1,
+            batch_size: Optional[int] = None) -> SearchResult:
         evaluator = self._evaluator
         population_size = min(self.population_size,
                               max(2, self.config.scale.trials // 2))
@@ -65,18 +66,18 @@ class MicroNASSearch:
             population_size=population_size,
             tournament_size=min(self.tournament_size, population_size))
         trials: List[TrialResult] = []
-        while len(trials) < self.config.scale.trials:
-            genome = evolution.ask()
-            batch = evaluator.evaluate_candidate(genome, index=len(trials))
-            for result in batch:
-                score = constrained_score(result.accuracy, result.size_kb,
-                                          self.size_budget_kb)
-                # the constrained score drives evolution; the recorded
-                # trial keeps the Eq. 1 score for cross-method comparison
-                evolution.tell(result.genome, score)
-                trials.append(result)
-                if evaluator.progress is not None:
-                    evaluator.progress(result)
+        for result in evolved_trials(evaluator, evolution,
+                                     self.config.scale.trials,
+                                     workers=workers,
+                                     batch_size=batch_size):
+            score = constrained_score(result.accuracy, result.size_kb,
+                                      self.size_budget_kb)
+            # the constrained score drives evolution; the recorded
+            # trial keeps the Eq. 1 score for cross-method comparison
+            evolution.tell(result.genome, score)
+            trials.append(result)
+            if evaluator.progress is not None:
+                evaluator.progress(result)
         result = SearchResult(config=self.config, trials=trials)
         if final_training:
             from ..nas.final_training import train_final_models

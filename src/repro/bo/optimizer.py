@@ -83,11 +83,14 @@ class BayesianOptimizer:
         self._encodings: List[np.ndarray] = []
         self._seen: Set[Tuple] = set()
         self._seed_given = False
+        self._fantasy_count = 0
+        self._fantasy_keys: List[Tuple] = []
 
     # -- observation bookkeeping -----------------------------------------
     @property
     def n_observations(self) -> int:
-        return len(self._genomes)
+        """Real (non-fantasy) observations recorded via :meth:`tell`."""
+        return len(self._genomes) - self._fantasy_count
 
     @property
     def observations(self) -> List[Tuple[MixedPrecisionGenome, float]]:
@@ -104,10 +107,37 @@ class BayesianOptimizer:
         """Record a completed trial."""
         if not np.isfinite(score):
             raise ValueError(f"score must be finite, got {score}")
+        if self._fantasy_count:
+            # a real observation supersedes any leftover fantasies
+            self._clear_fantasies()
         self._genomes.append(genome)
         self._scores.append(float(score))
         self._encodings.append(self.distance.encode(genome))
         self._seen.add(genome.as_key())
+
+    # -- constant-liar fantasies (batched proposal) -----------------------
+    def _add_fantasy(self, genome: MixedPrecisionGenome,
+                     score: float) -> None:
+        """Pretend ``genome`` was observed at ``score`` (the lie)."""
+        self._genomes.append(genome)
+        self._scores.append(float(score))
+        self._encodings.append(self.distance.encode(genome))
+        self._fantasy_count += 1
+        key = genome.as_key()
+        if key not in self._seen:
+            self._seen.add(key)
+            self._fantasy_keys.append(key)
+
+    def _clear_fantasies(self) -> None:
+        """Retract all fantasy observations (they append last, pop last)."""
+        if self._fantasy_count:
+            del self._genomes[-self._fantasy_count:]
+            del self._scores[-self._fantasy_count:]
+            del self._encodings[-self._fantasy_count:]
+            self._fantasy_count = 0
+        for key in self._fantasy_keys:
+            self._seen.discard(key)
+        self._fantasy_keys.clear()
 
     # -- candidate proposal ------------------------------------------------
     def ask(self) -> MixedPrecisionGenome:
@@ -128,6 +158,32 @@ class BayesianOptimizer:
         best_score = max(self._scores)
         acquisition = self.acquisition.score(mean, std, best_score)
         return pool[int(np.argmax(acquisition))]
+
+    def ask_batch(self, q: int) -> List[MixedPrecisionGenome]:
+        """Propose ``q`` genomes to evaluate concurrently.
+
+        Uses the constant-liar strategy: after each proposal, the optimizer
+        pretends the candidate was observed at the current best *real*
+        score, so subsequent proposals in the batch are pushed away from it
+        and the batch stays diverse.  All fantasies are retracted before
+        returning — real :meth:`tell` calls then record the true outcomes
+        in proposal order.
+
+        ``ask_batch(1)`` degenerates to a single :meth:`ask`.
+        """
+        if q < 1:
+            raise ValueError("batch size must be >= 1")
+        genomes = [self.ask()]
+        if q == 1:
+            return genomes
+        lie = max(self._scores) if self.n_observations else 0.0
+        try:
+            for _ in range(q - 1):
+                self._add_fantasy(genomes[-1], lie)
+                genomes.append(self.ask())
+        finally:
+            self._clear_fantasies()
+        return genomes
 
     def _default_seed(self) -> MixedPrecisionGenome:
         """Seed anchor: the Table I seed arch under the mode's sampling.

@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--policies-per-trial", type=int, default=1,
                         help="quantization policies evaluated per trained "
                              "network (paper future-work extension)")
+    search.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for trial evaluation "
+                             "(default: CPU count, capped at 8; results "
+                             "are identical for any value)")
+    search.add_argument("--trial-batch", type=int, default=None,
+                        help="candidates proposed per constant-liar BO "
+                             "batch (default 4; part of the search "
+                             "schedule, unlike --workers)")
     search.add_argument("--no-final-training", action="store_true",
                         help="skip final training of the Pareto set")
     search.add_argument("--out", default=None,
@@ -63,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", choices=sorted(SCALE_PRESETS),
                         default=None)
     report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for the underlying "
+                             "searches (default: BOMP_WORKERS env or 1; "
+                             "cached results are reused either way)")
     report.add_argument("--svg-out", default=None,
                         help="also write an SVG rendering here (figures "
                              "only)")
@@ -98,8 +110,11 @@ def cmd_search(args: argparse.Namespace) -> int:
             print(f"  trial {trial.index:>3}: acc={trial.accuracy:.3f} "
                   f"size={trial.size_kb:8.2f} kB score={trial.score:.3f}")
 
+    from .parallel import default_workers
+    workers = args.workers if args.workers is not None else default_workers()
     nas = BOMPNAS(config, dataset, progress=progress)
-    result = nas.run(final_training=not args.no_final_training)
+    result = nas.run(final_training=not args.no_final_training,
+                     workers=workers, batch_size=args.trial_batch)
     print(result.summary())
     if args.out:
         result.save(args.out)
@@ -113,11 +128,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         if args.artifact == "table1":
             _, text = tables.table1()
         else:
-            ctx = ExperimentContext(args.scale, seed=args.seed)
+            ctx = ExperimentContext(args.scale, seed=args.seed,
+                                    workers=args.workers)
             _, text = getattr(tables, args.artifact)(ctx)
         print(text)
         return 0
-    ctx = ExperimentContext(args.scale, seed=args.seed)
+    ctx = ExperimentContext(args.scale, seed=args.seed, workers=args.workers)
     data, text = getattr(figures, args.artifact)(ctx)
     print(text)
     if args.svg_out:

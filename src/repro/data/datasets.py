@@ -9,14 +9,20 @@ shift + horizontal flip) in batch form, pluggable into
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 
 @dataclass
 class Dataset:
-    """An image-classification dataset with train and test splits."""
+    """An image-classification dataset with train and test splits.
+
+    ``spec``, when present, is the keyword payload that regenerates this
+    exact dataset via ``make_synthetic_dataset(**spec)``.  Parallel trial
+    workers use it to rebuild the arrays from the seed instead of
+    unpickling them; derived datasets (subsamples) carry no spec.
+    """
 
     name: str
     x_train: np.ndarray
@@ -24,6 +30,7 @@ class Dataset:
     x_test: np.ndarray
     y_test: np.ndarray
     num_classes: int
+    spec: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.x_train.ndim != 4 or self.x_test.ndim != 4:

@@ -101,8 +101,15 @@ def make_synthetic_dataset(name: str, num_classes: int,
 
     x_train, y_train = sample_split(n_train)
     x_test, y_test = sample_split(n_test)
+    # full regeneration recipe, so parallel workers can rebuild the arrays
+    # from the seed instead of receiving them pickled per task
+    spec = dict(name=name, num_classes=num_classes, n_train=n_train,
+                n_test=n_test, image_size=image_size, channels=channels,
+                n_modes=n_modes, noise_sigma=noise_sigma,
+                label_noise=label_noise, coarse_grid=coarse_grid, seed=seed)
     return Dataset(name=name, x_train=x_train, y_train=y_train,
-                   x_test=x_test, y_test=y_test, num_classes=num_classes)
+                   x_test=x_test, y_test=y_test, num_classes=num_classes,
+                   spec=spec)
 
 
 def synthetic_cifar10(n_train: int = 2000, n_test: int = 500,

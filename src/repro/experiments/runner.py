@@ -44,11 +44,18 @@ class ExperimentContext:
 
     def __init__(self, scale_name: Optional[str] = None, seed: int = 7,
                  cache_dir: Optional[Path] = None,
-                 use_disk_cache: bool = True) -> None:
+                 use_disk_cache: bool = True,
+                 workers: Optional[int] = None) -> None:
         self.scale: ScalePreset = get_scale(scale_name)
         self.seed = seed
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.use_disk_cache = use_disk_cache
+        # Worker count never enters cache keys: per-trial seeding makes
+        # results bit-identical for any value, so parallelism is purely an
+        # execution detail.
+        if workers is None:
+            workers = int(os.environ.get("BOMP_WORKERS", "1"))
+        self.workers = max(1, workers)
         self._datasets: Dict[str, Dataset] = {}
         self._results: Dict[str, SearchResult] = {}
 
@@ -150,7 +157,7 @@ class ExperimentContext:
             if richer is not None:
                 return richer
         result = BOMPNAS(config, self.dataset(dataset)).run(
-            final_training=final_training)
+            final_training=final_training, workers=self.workers)
         self._store(key, result)
         return result
 
@@ -164,7 +171,7 @@ class ExperimentContext:
         if cached is not None:
             return cached
         result = JASQSearch(config, self.dataset(dataset)).run(
-            final_training=final_training)
+            final_training=final_training, workers=self.workers)
         self._store(key, result)
         return result
 
@@ -180,6 +187,6 @@ class ExperimentContext:
             return cached
         result = MicroNASSearch(config, self.dataset(dataset),
                                 size_budget_kb=size_budget_kb).run(
-            final_training=final_training)
+            final_training=final_training, workers=self.workers)
         self._store(key, result)
         return result

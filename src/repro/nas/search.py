@@ -14,12 +14,19 @@ against the deployment (8-bit) size.
 The ``policies_per_trial`` option implements the paper's future-work
 proposal: re-use one early-trained network to evaluate several quantization
 policies, feeding each to the surrogate.
+
+Trials are embarrassingly parallel: each draws all randomness from a
+deterministic per-trial seed (:mod:`repro.parallel.seeding`), the optimizer
+proposes candidates in constant-liar batches (``ask_batch``), and a
+:class:`~repro.parallel.engine.TrialEngine` evaluates each batch — serial
+in-process or on a process pool — producing bit-identical results for any
+``workers`` value.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -33,6 +40,8 @@ from ..nn.network import Sequential
 from ..nn.optim import SGD, Adam, CosineDecayLR, Optimizer
 from ..nn.serialization import load_state_dict, state_dict
 from ..nn.trainer import Trainer
+from ..parallel.engine import DEFAULT_TRIAL_BATCH, TrialEngine, TrialSpec
+from ..parallel.seeding import trial_seed
 from ..quant.apply import apply_policy, calibrate, remove_quantizers
 from ..quant.policy import QuantizationPolicy
 from ..quant.qaft import quantization_aware_finetune
@@ -121,64 +130,95 @@ class BOMPNAS:
         return SGD(model.parameters(), schedule)
 
     # -- candidate evaluation (steps 2-5a of Fig. 1) -------------------------
-    def early_train(self, genome: MixedPrecisionGenome) -> Sequential:
+    def early_train(self, genome: MixedPrecisionGenome,
+                    rng: Optional[np.random.Generator] = None) -> Sequential:
         """Step (2): build and early-train a candidate in full precision."""
         scale = self.config.scale
-        model = build_model(genome.arch, self.dataset.num_classes,
-                            rng=self.rng)
+        rng = rng if rng is not None else self.rng
+        model = build_model(genome.arch, self.dataset.num_classes, rng=rng)
         trainer = Trainer(model, self.make_training_optimizer(
             model, scale.early_epochs))
         trainer.fit(self.dataset.x_train, self.dataset.y_train,
                     epochs=scale.early_epochs, batch_size=scale.batch_size,
-                    rng=self.rng)
+                    rng=rng)
         return model
 
     def quantize_and_evaluate(self, model: Sequential,
-                              policy: QuantizationPolicy) -> tuple:
+                              policy: QuantizationPolicy,
+                              rng: Optional[np.random.Generator] = None,
+                              phase_times: Optional[Dict[str, float]] = None
+                              ) -> tuple:
         """Steps (3)-(5): quantize per policy, optionally QAFT, evaluate.
 
-        Returns ``(accuracy, size_bits)`` of the deployed candidate.
+        Returns ``(accuracy, size_bits)`` of the deployed candidate.  When
+        ``phase_times`` is given, the PTQ / QAFT / eval wall-times are
+        accumulated into it under those keys.
         """
         scale = self.config.scale
+        rng = rng if rng is not None else self.rng
+        tick = time.perf_counter()
         apply_policy(model, policy, observer_kind=self.config.observer)
         calibrate(model, self.dataset.x_train,
                   batch_size=scale.batch_size)
+        ptq_end = time.perf_counter()
         if self.config.mode.qaft_in_loop and scale.qaft_epochs > 0:
             quantization_aware_finetune(
                 model, self.dataset.x_train, self.dataset.y_train,
                 epochs=scale.qaft_epochs,
                 learning_rate=self.config.qaft_learning_rate,
-                batch_size=scale.batch_size, rng=self.rng)
+                batch_size=scale.batch_size, rng=rng)
+        qaft_end = time.perf_counter()
         _, accuracy = evaluate_classifier(model, self.dataset.x_test,
                                           self.dataset.y_test)
         size = model_size_bits(model)
+        if phase_times is not None:
+            phase_times["ptq"] += ptq_end - tick
+            phase_times["qaft"] += qaft_end - ptq_end
+            phase_times["eval"] += time.perf_counter() - qaft_end
         return accuracy, size
 
     def evaluate_candidate(self, genome: MixedPrecisionGenome,
-                           index: int) -> List[TrialResult]:
-        """Run one full trial; several results if policies_per_trial > 1."""
+                           index: int,
+                           seed: Optional[int] = None) -> List[TrialResult]:
+        """Run one full trial; several results if policies_per_trial > 1.
+
+        All randomness comes from a generator seeded by
+        ``trial_seed(config.seed, index)`` (or the explicit ``seed``), so
+        the outcome depends only on ``(genome, config, index)`` — never on
+        evaluation order or which process runs it.
+        """
         scale = self.config.scale
         mode = self.config.mode
-        start = time.time()
-        model = self.early_train(genome)
+        if seed is None:
+            seed = trial_seed(self.config.seed, index)
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter()
+        model = self.early_train(genome, rng=rng)
+        train_time = time.perf_counter() - start
         _, fp_accuracy = evaluate_classifier(model, self.dataset.x_test,
                                              self.dataset.y_test)
         macs = count_macs(model, self.dataset.image_shape[:2])
         params = model.num_parameters()
+        fp_eval_time = time.perf_counter() - start - train_time
 
         policies = [genome.policy]
         for _ in range(self.config.policies_per_trial - 1):
-            policies.append(self.space.mutate_policy(genome.policy, self.rng,
+            policies.append(self.space.mutate_policy(genome.policy, rng,
                                                      n_mutations=3))
         snapshot = state_dict(model) if len(policies) > 1 else None
 
         results: List[TrialResult] = []
         for policy_index, policy in enumerate(policies):
+            phases = {"train": train_time if policy_index == 0 else 0.0,
+                      "ptq": 0.0, "qaft": 0.0,
+                      "eval": fp_eval_time if policy_index == 0 else 0.0}
+            policy_start = time.perf_counter()
             if snapshot is not None and policy_index > 0:
                 remove_quantizers(model)
                 load_state_dict(model, snapshot)
             if mode.quantize_in_loop:
-                accuracy, size = self.quantize_and_evaluate(model, policy)
+                accuracy, size = self.quantize_and_evaluate(
+                    model, policy, rng=rng, phase_times=phases)
             else:
                 # post-NAS baseline: full-precision accuracy, scored
                 # against the deployment (8-bit homogeneous) size
@@ -193,30 +233,60 @@ class BOMPNAS:
                 macs, scale.n_train,
                 early_epochs=scale.early_epochs if policy_index == 0 else 0,
                 qaft_epochs=qaft_epochs)
+            wall_time = (phases["train"] + phases["eval"]
+                         if policy_index == 0 else 0.0)
+            wall_time += time.perf_counter() - policy_start
             results.append(TrialResult(
                 index=index + policy_index,
                 genome=MixedPrecisionGenome(genome.arch, policy),
                 accuracy=accuracy, fp_accuracy=fp_accuracy,
                 size_bits=size, size_kb=size / (8 * 1024),
                 score=score, macs=macs, params=params,
-                train_seconds=time.time() - start,
-                gpu_hours=gpu_hours))
+                train_seconds=time.perf_counter() - start,
+                gpu_hours=gpu_hours,
+                wall_time_s=wall_time, phase_times=phases))
         return results
 
     # -- the loop -------------------------------------------------------------
-    def run(self, final_training: bool = True) -> SearchResult:
-        """Run the search; optionally finally train the Pareto set."""
+    def run(self, final_training: bool = True, workers: int = 1,
+            batch_size: Optional[int] = None) -> SearchResult:
+        """Run the search; optionally finally train the Pareto set.
+
+        Args:
+            final_training: finally train the Pareto-optimal candidates.
+            workers: process-pool size for trial evaluation; ``<= 1`` runs
+                in-process.  The result is bit-identical for any value.
+            batch_size: candidates proposed per constant-liar ``ask_batch``
+                round (default :data:`DEFAULT_TRIAL_BATCH`).  Part of the
+                search schedule — unlike ``workers`` it *does* change which
+                candidates are proposed.
+        """
         from .final_training import train_final_models  # cycle guard
         optimizer = self.make_optimizer()
+        per_candidate = self.config.policies_per_trial
+        proposal_batch = max(1, batch_size if batch_size is not None
+                             else DEFAULT_TRIAL_BATCH)
+        total = self.config.scale.trials
         trials: List[TrialResult] = []
-        while len(trials) < self.config.scale.trials:
-            genome = optimizer.ask()
-            batch = self.evaluate_candidate(genome, index=len(trials))
-            for result in batch:
-                optimizer.tell(result.genome, result.score)
-                trials.append(result)
-                if self.progress is not None:
-                    self.progress(result)
+        engine = TrialEngine(self.config, self.dataset, workers=workers,
+                             cost_model=self.cost_model, space=self.space,
+                             evaluator=self)
+        with engine:
+            while len(trials) < total:
+                remaining = -(-(total - len(trials)) // per_candidate)
+                genomes = optimizer.ask_batch(min(proposal_batch, remaining))
+                specs = []
+                for j, genome in enumerate(genomes):
+                    index = len(trials) + j * per_candidate
+                    specs.append(TrialSpec(
+                        index=index, genome=genome,
+                        seed=trial_seed(self.config.seed, index)))
+                for batch in engine.evaluate(specs):
+                    for result in batch:
+                        optimizer.tell(result.genome, result.score)
+                        trials.append(result)
+                        if self.progress is not None:
+                            self.progress(result)
         result = SearchResult(config=self.config, trials=trials)
         if final_training:
             result.final_models = train_final_models(

@@ -32,7 +32,12 @@ def genome_from_dict(data: Dict) -> MixedPrecisionGenome:
 
 @dataclass
 class TrialResult:
-    """One evaluated candidate inside the search loop."""
+    """One evaluated candidate inside the search loop.
+
+    ``wall_time_s`` and ``phase_times`` (train/ptq/qaft/eval wall-clock
+    seconds) were added with the parallel engine; results serialized
+    before then load with both set to ``None``.
+    """
 
     index: int
     genome: MixedPrecisionGenome
@@ -45,6 +50,8 @@ class TrialResult:
     params: int
     train_seconds: float
     gpu_hours: float             # simulated search cost of this trial
+    wall_time_s: Optional[float] = None
+    phase_times: Optional[Dict[str, float]] = None
 
     def as_dict(self) -> Dict:
         data = asdict(self)
@@ -55,6 +62,9 @@ class TrialResult:
     def from_dict(cls, data: Dict) -> "TrialResult":
         data = dict(data)
         data["genome"] = genome_from_dict(data["genome"])
+        # timing fields postdate old cache files; default them to None
+        data.setdefault("wall_time_s", None)
+        data.setdefault("phase_times", None)
         return cls(**data)
 
 

@@ -9,13 +9,29 @@ quantizers behave as plain float32 convolutions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from . import functional as F
 from .initializers import he_normal, zeros
 from .module import FLOAT, Module, Parameter
+
+#: memoized np.einsum contraction paths per (subscripts, operand shapes).
+#: The search evaluates thousands of forward/backward steps over a handful
+#: of distinct layer shapes, so re-optimizing the contraction order on
+#: every call is pure hot-path overhead.
+_EINSUM_PATHS: Dict[Tuple, list] = {}
+
+
+def _cached_einsum(subscripts: str, a: np.ndarray,
+                   b: np.ndarray) -> np.ndarray:
+    key = (subscripts, a.shape, b.shape)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, a, b, optimize="optimal")[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(subscripts, a, b, optimize=path)
 
 
 class Conv2D(Module):
@@ -85,13 +101,15 @@ class Conv2D(Module):
             n, ho, wo, c = strided.shape
             out = strided.reshape(-1, c) @ weight.reshape(c, -1)
             out = out.reshape(n, ho, wo, self.out_channels)
-            self._cache = ("1x1", strided, weight, x.shape)
+            # stride==1 backward never scatters into a zero tensor, so
+            # there is no need to keep the input shape alive in the cache
+            shape = None if self.stride == 1 else x.shape
+            self._cache = ("1x1", strided, weight, shape)
         else:
             padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
                                                self.padding)
             patches = F.extract_patches(padded, self.kernel, self.stride)
-            out = np.einsum("nhwcij,ijcf->nhwf", patches, weight,
-                            optimize=True)
+            out = _cached_einsum("nhwcij,ijcf->nhwf", patches, weight)
             self._cache = ("kxk", patches, padded.shape, pad_h, pad_w,
                            weight)
         out = out.astype(FLOAT, copy=False)
@@ -133,13 +151,11 @@ class Conv2D(Module):
 
     def _backward_kxk(self, grad: np.ndarray) -> np.ndarray:
         _, patches, padded_shape, pad_h, pad_w, weight = self._cache
-        dweight = np.einsum("nhwcij,nhwf->ijcf", patches, grad,
-                            optimize=True)
+        dweight = _cached_einsum("nhwcij,nhwf->ijcf", patches, grad)
         if self.weight_quantizer is not None:
             dweight = self.weight_quantizer.backward(dweight)
         self.weight.accumulate_grad(dweight)
-        dpatches = np.einsum("nhwf,ijcf->nhwcij", grad, weight,
-                             optimize=True)
+        dpatches = _cached_einsum("nhwf,ijcf->nhwcij", grad, weight)
         dx_padded = F.scatter_patches(dpatches, padded_shape, self.kernel,
                                       self.stride)
         return F.crop_padding(dx_padded, pad_h, pad_w)

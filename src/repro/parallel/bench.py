@@ -1,0 +1,125 @@
+"""Serial-vs-parallel wall-clock measurement and the bench trajectory log.
+
+``measure_speedup`` times the same search twice — once with ``workers=1``,
+once with a worker pool — verifies the results are bit-identical, and
+returns a record in the stable ``BENCH_parallel.json`` schema.
+``append_bench_record`` appends records to that file so the perf
+trajectory is measurable across PRs.
+
+Schema (version 1)::
+
+    {"schema": 1,
+     "runs": [{"timestamp": <iso8601>, "scale": ..., "dataset": ...,
+               "mode": ..., "seed": ..., "trials": ..., "workers": ...,
+               "batch_size": ..., "cpu_count": ...,
+               "serial_s": ..., "parallel_s": ..., "speedup": ...,
+               "identical": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+#: record fields, in stable order (new fields are appended, never renamed)
+RECORD_FIELDS = (
+    "timestamp", "scale", "dataset", "mode", "seed", "trials", "workers",
+    "batch_size", "cpu_count", "serial_s", "parallel_s", "speedup",
+    "identical",
+)
+
+
+def default_bench_path() -> Path:
+    """``BENCH_parallel.json`` at the repository root (cwd fallback)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "BENCH_parallel.json"
+    return Path.cwd() / "BENCH_parallel.json"
+
+
+def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
+    """Append one run record, creating or migrating the file as needed."""
+    path = Path(path)
+    payload: Dict[str, Any] = {"schema": BENCH_SCHEMA_VERSION, "runs": []}
+    if path.exists():
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict) and isinstance(
+                existing.get("runs"), list):
+            payload["runs"] = existing["runs"]
+    ordered = {key: record.get(key) for key in RECORD_FIELDS}
+    for key in record:
+        if key not in ordered:
+            ordered[key] = record[key]
+    payload["runs"].append(ordered)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _results_identical(a, b) -> bool:
+    if len(a.trials) != len(b.trials):
+        return False
+    return all(
+        x.genome == y.genome and x.score == y.score
+        and x.accuracy == y.accuracy and x.size_bits == y.size_bits
+        for x, y in zip(a.trials, b.trials))
+
+
+def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
+                    mode: str = "mp_qaft", seed: int = 7,
+                    workers: Optional[int] = None,
+                    batch_size: Optional[int] = None) -> Dict[str, Any]:
+    """Time a serial and a parallel search of the same config.
+
+    Returns a ``BENCH_parallel.json`` record.  Final training is skipped —
+    the trial loop is the parallelized hot path being measured.
+    """
+    from ..bo.scalarization import ScalarizationConfig
+    from ..data.synthetic import load_dataset
+    from ..experiments.runner import REF_SIZE
+    from ..nas.config import SearchConfig, get_mode, get_scale
+    from ..nas.search import BOMPNAS
+    from .engine import DEFAULT_TRIAL_BATCH, default_workers
+
+    scale_preset = get_scale(scale)
+    workers = workers if workers is not None else default_workers()
+    config = SearchConfig(
+        dataset=dataset, mode=get_mode(mode), scale=scale_preset,
+        scalarization=ScalarizationConfig(ref_accuracy=0.8,
+                                          ref_model_size=REF_SIZE[dataset]),
+        seed=seed)
+    data = load_dataset(dataset, n_train=scale_preset.n_train,
+                        n_test=scale_preset.n_test,
+                        image_size=scale_preset.image_size, seed=seed)
+
+    start = time.perf_counter()
+    serial = BOMPNAS(config, data).run(final_training=False, workers=1,
+                                       batch_size=batch_size)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = BOMPNAS(config, data).run(final_training=False,
+                                         workers=workers,
+                                         batch_size=batch_size)
+    parallel_s = time.perf_counter() - start
+
+    import os
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        cpu_count = os.cpu_count() or 1
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "scale": scale_preset.name, "dataset": dataset, "mode": mode,
+        "seed": seed, "trials": len(serial.trials), "workers": workers,
+        "batch_size": batch_size or DEFAULT_TRIAL_BATCH,
+        "cpu_count": cpu_count,
+        "serial_s": round(serial_s, 3), "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "identical": _results_identical(serial, parallel),
+    }

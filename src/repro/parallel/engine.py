@@ -1,0 +1,266 @@
+"""Process-pool trial evaluation with a picklable worker protocol.
+
+The engine maps :class:`TrialSpec`\\ s (genome + trial index + seed) to
+lists of :class:`~repro.nas.trial.TrialResult`\\ s, either in-process
+(``workers <= 1``) or on a ``multiprocessing`` pool.  Each worker builds
+its evaluation state (dataset, search space, evaluator) exactly once —
+from a small regeneration spec when the dataset carries one, so the
+training arrays are never pickled per task — and caches it in module
+globals for the lifetime of the pool.
+
+Because trials are deterministically seeded (:mod:`repro.parallel.seeding`)
+and results are consumed in spec order, the engine's output is identical
+regardless of worker count, completion order, or whether the pool could be
+created at all: on platforms without working multiprocessing the engine
+degrades to serial in-process evaluation with a warning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..data.datasets import Dataset
+from ..space.genome import MixedPrecisionGenome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..nas.config import SearchConfig
+    from ..nas.cost import CostModel
+    from ..nas.search import BOMPNAS
+    from ..nas.trial import TrialResult
+    from ..space.space import SearchSpace
+
+#: candidates proposed per BO/evolution ask round.  Deliberately NOT tied
+#: to the worker count: the proposal schedule (and therefore the search
+#: result) must be identical for any ``workers`` value, so worker count can
+#: never leak into experiment cache keys.
+DEFAULT_TRIAL_BATCH = 4
+
+#: hard cap on the default worker count (diminishing returns past this for
+#: the smoke/medium scales, and it bounds memory: each worker holds one
+#: dataset + one model).
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """Default worker count: available CPUs, capped at 8."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(cpus, MAX_DEFAULT_WORKERS))
+
+
+class TrialEvaluationError(RuntimeError):
+    """A worker failed to evaluate a trial; carries the worker traceback."""
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything a worker needs to evaluate one candidate.
+
+    The spec is deliberately tiny and picklable: the genome, the index the
+    trial will occupy in the result list, and the pre-derived trial seed.
+    The heavy, run-constant state (config, dataset, space) ships once per
+    worker through the pool initializer, never per task.
+    """
+
+    index: int
+    genome: MixedPrecisionGenome
+    seed: int
+
+
+@dataclass
+class TrialOutcome:
+    """What a worker sends back: results, or a formatted error."""
+
+    index: int
+    results: Optional[List["TrialResult"]] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class _WorkerPayload:
+    """Run-constant state shipped once per worker via the initializer.
+
+    ``dataset_spec`` (when the dataset carries regeneration provenance)
+    takes precedence over ``dataset``: workers rebuild the arrays from the
+    spec's seed instead of unpickling them.
+    """
+
+    config: "SearchConfig"
+    dataset: Optional[Dataset]
+    dataset_spec: Optional[Dict[str, Any]]
+    cost_model: Optional["CostModel"]
+    space: Optional["SearchSpace"]
+
+
+# -- worker-side globals ----------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_worker(payload: _WorkerPayload) -> None:
+    """Pool initializer: stash the payload; build the evaluator lazily."""
+    _WORKER_STATE["payload"] = payload
+    _WORKER_STATE.pop("evaluator", None)
+
+
+def _build_evaluator(payload: _WorkerPayload) -> "BOMPNAS":
+    from ..nas.search import BOMPNAS
+    dataset = payload.dataset
+    if payload.dataset_spec is not None:
+        from ..data.synthetic import make_synthetic_dataset
+        dataset = make_synthetic_dataset(**payload.dataset_spec)
+    if dataset is None:
+        raise TrialEvaluationError("worker has neither dataset nor spec")
+    return BOMPNAS(payload.config, dataset, cost_model=payload.cost_model,
+                   space=payload.space)
+
+
+def _run_trial(spec: TrialSpec) -> TrialOutcome:
+    """Worker task: evaluate one spec with the cached evaluator."""
+    try:
+        evaluator = _WORKER_STATE.get("evaluator")
+        if evaluator is None:
+            evaluator = _build_evaluator(_WORKER_STATE["payload"])
+            _WORKER_STATE["evaluator"] = evaluator
+        results = evaluator.evaluate_candidate(spec.genome, spec.index,
+                                               seed=spec.seed)
+        return TrialOutcome(index=spec.index, results=results)
+    except Exception:  # noqa: BLE001 — ship the full traceback back
+        return TrialOutcome(index=spec.index,
+                            error=traceback.format_exc())
+
+
+def _pick_start_method() -> str:
+    """Prefer fork (cheap, copy-on-write dataset) where available."""
+    override = os.environ.get("BOMP_MP_START")
+    methods = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"BOMP_MP_START={override!r} unavailable; have {methods}")
+        return override
+    return "fork" if "fork" in methods else "spawn"
+
+
+class TrialEngine:
+    """Evaluates batches of trial specs, serial or on a process pool.
+
+    Args:
+        config: the run's search config (ships to workers).
+        dataset: the run's dataset.  If it carries a regeneration ``spec``
+            (see :class:`repro.data.datasets.Dataset`), workers rebuild it
+            from the seed instead of unpickling the arrays.
+        workers: pool size; ``<= 1`` means in-process serial evaluation.
+        cost_model / space: optional evaluator collaborators, forwarded.
+        evaluator: an existing in-process evaluator to reuse on the serial
+            path (avoids rebuilding the search space).
+
+    Use as a context manager; the pool (if any) is torn down on exit.
+    """
+
+    def __init__(self, config: "SearchConfig", dataset: Dataset,
+                 workers: int = 1,
+                 cost_model: Optional["CostModel"] = None,
+                 space: Optional["SearchSpace"] = None,
+                 evaluator: Optional["BOMPNAS"] = None) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.workers = max(1, int(workers))
+        self.cost_model = cost_model
+        self.space = space
+        self._evaluator = evaluator
+        self._pool = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "TrialEngine":
+        if self.workers > 1:
+            self._pool = self._try_start_pool()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        """True while a live process pool backs evaluation."""
+        return self._pool is not None
+
+    def _try_start_pool(self):
+        payload = _WorkerPayload(
+            config=self.config,
+            dataset=None if self.dataset.spec is not None else self.dataset,
+            dataset_spec=self.dataset.spec,
+            cost_model=self.cost_model, space=self.space)
+        try:
+            context = multiprocessing.get_context(_pick_start_method())
+            return context.Pool(self.workers, initializer=_init_worker,
+                                initargs=(payload,))
+        except Exception as exc:  # noqa: BLE001 — any failure → serial
+            warnings.warn(
+                f"multiprocessing unavailable ({exc!r}); "
+                f"falling back to in-process serial evaluation",
+                RuntimeWarning, stacklevel=2)
+            return None
+
+    # -- evaluation --------------------------------------------------------
+    def _serial_evaluator(self) -> "BOMPNAS":
+        if self._evaluator is None:
+            from ..nas.search import BOMPNAS
+            self._evaluator = BOMPNAS(self.config, self.dataset,
+                                      cost_model=self.cost_model,
+                                      space=self.space)
+        return self._evaluator
+
+    def evaluate(self, specs: List[TrialSpec]) -> List[List["TrialResult"]]:
+        """Evaluate specs, returning result lists in spec order.
+
+        Worker failures raise :class:`TrialEvaluationError` with the worker
+        traceback; a broken pool (crashed worker, pickling failure) falls
+        back to serial evaluation of the same specs, preserving results.
+        """
+        if not specs:
+            return []
+        if self._pool is not None:
+            try:
+                outcomes = self._pool.map(_run_trial, specs, chunksize=1)
+            except Exception as exc:  # noqa: BLE001 — pool died mid-run
+                warnings.warn(
+                    f"process pool failed ({exc!r}); finishing serially",
+                    RuntimeWarning, stacklevel=2)
+                self.close()
+                outcomes = self._evaluate_serial(specs)
+        else:
+            outcomes = self._evaluate_serial(specs)
+        batches: List[List["TrialResult"]] = []
+        for spec, outcome in zip(specs, outcomes):
+            if outcome.error is not None:
+                raise TrialEvaluationError(
+                    f"trial {spec.index} failed in worker:\n{outcome.error}")
+            batches.append(outcome.results)
+        return batches
+
+    def _evaluate_serial(self, specs: List[TrialSpec]) -> List[TrialOutcome]:
+        evaluator = self._serial_evaluator()
+        outcomes = []
+        for spec in specs:
+            try:
+                results = evaluator.evaluate_candidate(
+                    spec.genome, spec.index, seed=spec.seed)
+                outcomes.append(TrialOutcome(index=spec.index,
+                                             results=results))
+            except Exception:  # noqa: BLE001 — symmetric with worker path
+                outcomes.append(TrialOutcome(index=spec.index,
+                                             error=traceback.format_exc()))
+        return outcomes

@@ -120,3 +120,47 @@ class TestBayesianOptimizer:
         genome = c10_space.random_genome(rng)
         opt.tell(genome, 1.0)
         assert opt.observations == [(genome, 1.0)]
+
+
+class TestAskBatch:
+    def make(self, space, seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        kwargs.setdefault("pool_size", 30)
+        kwargs.setdefault("n_initial_random", 3)
+        return BayesianOptimizer(space, rng, **kwargs)
+
+    def test_batch_of_one_degenerates_to_ask(self, c10_space):
+        assert self.make(c10_space).ask_batch(1) == \
+            [self.make(c10_space).ask()]
+
+    def test_batch_candidates_distinct(self, c10_space):
+        genomes = self.make(c10_space).ask_batch(4)
+        assert len(genomes) == 4
+        assert len({g.as_key() for g in genomes}) == 4
+
+    def test_fantasies_retracted(self, c10_space):
+        opt = self.make(c10_space)
+        objective = synthetic_objective(c10_space)
+        genomes = opt.ask_batch(4)
+        # constant-liar fantasies must not count as real observations...
+        assert opt.n_observations == 0
+        assert opt.observations == []
+        for genome in genomes:
+            opt.tell(genome, objective(genome))
+        # ...and telling the real scores afterwards must work normally
+        assert opt.n_observations == 4
+
+    def test_batched_loop_runs_past_warmup(self, c10_space):
+        opt = self.make(c10_space)
+        objective = synthetic_objective(c10_space)
+        seen = set()
+        for _ in range(4):
+            for genome in opt.ask_batch(3):
+                assert genome.as_key() not in seen
+                seen.add(genome.as_key())
+                opt.tell(genome, objective(genome))
+        assert opt.n_observations == 12
+
+    def test_invalid_batch_size_rejected(self, c10_space):
+        with pytest.raises(ValueError):
+            self.make(c10_space).ask_batch(0)

@@ -79,6 +79,24 @@ class TestSearchResult:
         assert recovered.genome == trial.genome
         assert recovered.score == pytest.approx(trial.score)
 
+    def test_timing_fields_roundtrip(self, finished_run):
+        trial = finished_run.trials[0]
+        assert trial.wall_time_s is not None
+        assert set(trial.phase_times) == {"train", "ptq", "qaft", "eval"}
+        recovered = TrialResult.from_dict(trial.as_dict())
+        assert recovered.wall_time_s == trial.wall_time_s
+        assert recovered.phase_times == trial.phase_times
+
+    def test_from_dict_accepts_pre_timing_records(self, finished_run):
+        """Cache files written before the timing fields must still load."""
+        legacy = finished_run.trials[0].as_dict()
+        del legacy["wall_time_s"]
+        del legacy["phase_times"]
+        recovered = TrialResult.from_dict(legacy)
+        assert recovered.wall_time_s is None
+        assert recovered.phase_times is None
+        assert recovered.genome == finished_run.trials[0].genome
+
     def test_fronts_consistent(self, finished_run):
         candidate_front = finished_run.candidate_front()
         assert candidate_front

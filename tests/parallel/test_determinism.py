@@ -1,0 +1,48 @@
+"""Serial and parallel searches must be bit-identical (the core contract
+that keeps worker count out of experiment cache keys)."""
+
+import pytest
+
+from repro.nas import BOMPNAS
+
+
+@pytest.fixture(scope="module")
+def serial_run(unit_scale):
+    from repro.data import make_synthetic_dataset
+    from repro.nas import SearchConfig, get_mode
+    dataset = make_synthetic_dataset(
+        "tiny-det", num_classes=10, n_train=unit_scale.n_train,
+        n_test=unit_scale.n_test, image_size=unit_scale.image_size, seed=3)
+    config = SearchConfig(dataset="cifar10", mode=get_mode("mp_qaft"),
+                          scale=unit_scale, seed=0)
+    serial = BOMPNAS(config, dataset).run(final_training=False, workers=1)
+    return config, dataset, serial
+
+
+class TestWorkerCountInvariance:
+    def test_two_workers_identical_to_serial(self, serial_run):
+        config, dataset, serial = serial_run
+        parallel = BOMPNAS(config, dataset).run(final_training=False,
+                                                workers=2)
+        assert [t.genome for t in parallel.trials] == \
+            [t.genome for t in serial.trials]
+        assert [t.score for t in parallel.trials] == \
+            [t.score for t in serial.trials]
+        assert [t.accuracy for t in parallel.trials] == \
+            [t.accuracy for t in serial.trials]
+        assert [t.size_bits for t in parallel.trials] == \
+            [t.size_bits for t in serial.trials]
+        assert [t.index for t in parallel.pareto_trials()] == \
+            [t.index for t in serial.pareto_trials()]
+
+    def test_trial_indices_sequential(self, serial_run):
+        _, _, serial = serial_run
+        assert [t.index for t in serial.trials] == \
+            list(range(len(serial.trials)))
+
+    def test_timing_fields_populated(self, serial_run):
+        _, _, serial = serial_run
+        for trial in serial.trials:
+            assert trial.wall_time_s is not None and trial.wall_time_s >= 0
+            assert set(trial.phase_times) == {"train", "ptq", "qaft", "eval"}
+            assert all(v >= 0 for v in trial.phase_times.values())

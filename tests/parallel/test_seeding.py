@@ -1,0 +1,31 @@
+"""Tests for deterministic per-trial seeding."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import trial_rng, trial_seed
+
+
+class TestTrialSeed:
+    def test_deterministic(self):
+        assert trial_seed(7, 3) == trial_seed(7, 3)
+
+    def test_distinct_per_index(self):
+        seeds = {trial_seed(0, i) for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_distinct_per_run_seed(self):
+        assert trial_seed(0, 5) != trial_seed(1, 5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            trial_seed(0, -1)
+
+    def test_rng_streams_independent(self):
+        a = trial_rng(0, 0).standard_normal(8)
+        b = trial_rng(0, 1).standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_rng_reproducible(self):
+        assert np.array_equal(trial_rng(3, 2).standard_normal(8),
+                              trial_rng(3, 2).standard_normal(8))
