@@ -29,6 +29,9 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size (default: CPU count, capped at 8)")
     parser.add_argument("--trial-batch", type=int, default=None)
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="also time a traced serial run and record the "
+                             "tracing overhead ratio")
     parser.add_argument("--out", default=None,
                         help="bench log path (default: BENCH_parallel.json "
                              "at the repo root)")
@@ -37,7 +40,8 @@ def main(argv=None):
     workers = args.workers if args.workers is not None else default_workers()
     record = measure_speedup(scale=args.scale, dataset=args.dataset,
                              mode=args.mode, seed=args.seed,
-                             workers=workers, batch_size=args.trial_batch)
+                             workers=workers, batch_size=args.trial_batch,
+                             measure_traced=args.trace_overhead)
     path = Path(args.out) if args.out else default_bench_path()
     append_bench_record(path, record)
     print(json.dumps(record, indent=2))

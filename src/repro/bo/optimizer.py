@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.trace import get_recorder
 from ..space.distance import GenomeDistance
 from ..space.genome import MixedPrecisionGenome
 from ..space.space import SearchSpace
@@ -110,9 +111,18 @@ class BayesianOptimizer:
         if self._fantasy_count:
             # a real observation supersedes any leftover fantasies
             self._clear_fantasies()
+        encoding = self.distance.encode(genome)
+        recorder = get_recorder()
+        if recorder.enabled and self.gp.fitted:
+            # predicted-vs-observed residual of the model *before* this
+            # observation — the GP calibration signal the report plots
+            mean, std = self.gp.predict(encoding[None, :])
+            recorder.gauge("gp.residual", float(score) - float(mean[0]),
+                           predicted=float(mean[0]), std=float(std[0]),
+                           observed=float(score))
         self._genomes.append(genome)
         self._scores.append(float(score))
-        self._encodings.append(self.distance.encode(genome))
+        self._encodings.append(encoding)
         self._seen.add(genome.as_key())
 
     # -- constant-liar fantasies (batched proposal) -----------------------
@@ -150,6 +160,12 @@ class BayesianOptimizer:
         if self.n_observations < self.n_initial_random:
             return self._unseen_random()
         self.gp.fit(np.stack(self._encodings), np.asarray(self._scores))
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.gauge("gp.length_scale", self.kernel.length_scale,
+                           n_obs=self.n_observations,
+                           n_fantasies=self._fantasy_count)
+            recorder.gauge("gp.lml", self.gp.log_marginal_likelihood())
         pool = self._build_pool()
         if not pool:
             return self._unseen_random()
@@ -157,7 +173,13 @@ class BayesianOptimizer:
         mean, std = self.gp.predict(encodings)
         best_score = max(self._scores)
         acquisition = self.acquisition.score(mean, std, best_score)
-        return pool[int(np.argmax(acquisition))]
+        chosen = int(np.argmax(acquisition))
+        if recorder.enabled:
+            recorder.gauge("bo.acq_best", float(acquisition[chosen]),
+                           pred_mean=float(mean[chosen]),
+                           pred_std=float(std[chosen]),
+                           pool_size=len(pool))
+        return pool[chosen]
 
     def ask_batch(self, q: int) -> List[MixedPrecisionGenome]:
         """Propose ``q`` genomes to evaluate concurrently.

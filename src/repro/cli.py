@@ -2,8 +2,11 @@
 
 Commands:
 
-- ``search``  — run a BOMP-NAS search (any mode) and write the result JSON.
-- ``report``  — regenerate a paper figure or table (text, optionally SVG).
+- ``search``  — run a BOMP-NAS search (any mode) and write the result JSON;
+  ``--trace`` additionally streams a structured event log to a run
+  directory (see :mod:`repro.obs`).
+- ``report``  — regenerate a paper figure or table, or — given a traced
+  run directory — render its search-health dashboard.
 - ``inspect`` — summarize a saved search result JSON.
 - ``space``   — print the Table I search space and its cardinalities.
 """
@@ -12,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .bo.scalarization import ScalarizationConfig
@@ -21,7 +25,14 @@ from .nas.config import (SCALE_PRESETS, SEARCH_MODES, SearchConfig,
                          get_mode, get_scale)
 from .nas.results import SearchResult
 from .nas.search import BOMPNAS
+from .obs.console import ConsoleReporter
+from .obs.trace import EVENTS_FILENAME, RunTracer
 from .space.space import SearchSpace
+
+#: the paper artifacts ``report`` can regenerate (everything else is
+#: interpreted as a traced run directory / event log path)
+PAPER_ARTIFACTS = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                   "table1", "table2", "table3", "table4")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,14 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip final training of the Pareto set")
     search.add_argument("--out", default=None,
                         help="write the result JSON here")
+    search.add_argument("--trace", action="store_true",
+                        help="record a structured event log (spans + "
+                             "metrics) for the run; never changes results")
+    search.add_argument("--trace-dir", default=None,
+                        help="run directory for the event log (implies "
+                             "--trace; default runs/<mode>-<dataset>-"
+                             "<scale>-seed<seed>)")
     search.add_argument("--quiet", action="store_true")
 
     report = commands.add_parser(
-        "report", help="regenerate a paper figure or table")
+        "report",
+        help="regenerate a paper figure/table, or render the "
+             "search-health dashboard of a traced run directory")
     report.add_argument("artifact",
-                        choices=["fig2", "fig3", "fig4", "fig5", "fig6",
-                                 "fig7", "fig8", "table1", "table2",
-                                 "table3", "table4"])
+                        help="one of %s, or a path to a traced run "
+                             "directory / events.jsonl" %
+                             ", ".join(PAPER_ARTIFACTS))
     report.add_argument("--scale", choices=sorted(SCALE_PRESETS),
                         default=None)
     report.add_argument("--seed", type=int, default=7)
@@ -77,7 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "cached results are reused either way)")
     report.add_argument("--svg-out", default=None,
                         help="also write an SVG rendering here (figures "
-                             "only)")
+                             "and run-dir dashboards)")
 
     inspect = commands.add_parser(
         "inspect", help="summarize a saved search result")
@@ -88,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     space.add_argument("--dataset", choices=("cifar10", "cifar100"),
                        default="cifar10")
     return parser
+
+
+def default_trace_dir(config: SearchConfig) -> str:
+    """Deterministic run-directory name for ``--trace`` without a path."""
+    return (f"runs/{config.mode.name}-{config.dataset}-"
+            f"{config.scale.name}-seed{config.seed}")
 
 
 def cmd_search(args: argparse.Namespace) -> int:
@@ -102,27 +128,54 @@ def cmd_search(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, n_train=scale.n_train,
                            n_test=scale.n_test,
                            image_size=scale.image_size, seed=args.seed)
-    progress = None
-    if not args.quiet:
-        print(f"running {config.describe()}")
-
-        def progress(trial):
-            print(f"  trial {trial.index:>3}: acc={trial.accuracy:.3f} "
-                  f"size={trial.size_kb:8.2f} kB score={trial.score:.3f}")
+    reporter = ConsoleReporter(quiet=args.quiet)
+    reporter.info(f"running {config.describe()}")
+    progress = None if args.quiet else reporter.trial
 
     from .parallel import default_workers
     workers = args.workers if args.workers is not None else default_workers()
     nas = BOMPNAS(config, dataset, progress=progress)
-    result = nas.run(final_training=not args.no_final_training,
-                     workers=workers, batch_size=args.trial_batch)
-    print(result.summary())
+    tracer = None
+    if args.trace or args.trace_dir:
+        trace_dir = args.trace_dir or default_trace_dir(config)
+        tracer = RunTracer(trace_dir)
+        reporter.info(f"tracing to {tracer.path}")
+    try:
+        result = nas.run(final_training=not args.no_final_training,
+                         workers=workers, batch_size=args.trial_batch,
+                         tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    reporter.emit(result.summary())
     if args.out:
         result.save(args.out)
-        print(f"result written to {args.out}")
+        reporter.emit(f"result written to {args.out}")
+    if tracer is not None:
+        reporter.emit(f"event log written to {tracer.path} "
+                      f"(render with: repro report {tracer.run_dir})")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
+    if args.artifact not in PAPER_ARTIFACTS:
+        path = Path(args.artifact)
+        if path.is_dir() or path.suffix == ".jsonl":
+            if not (path if path.suffix == ".jsonl"
+                    else path / EVENTS_FILENAME).exists():
+                reporter.emit(f"no {EVENTS_FILENAME} under {path}; was the "
+                              "search run with --trace?")
+                return 1
+            from .obs.report import write_report
+            _, text = write_report(path, svg_out=args.svg_out)
+            reporter.emit(text)
+            if args.svg_out:
+                reporter.emit(f"SVG written to {args.svg_out}")
+            return 0
+        raise SystemExit(
+            f"unknown artifact {args.artifact!r}: expected one of "
+            f"{', '.join(PAPER_ARTIFACTS)} or a traced run directory")
     from .experiments import figures, tables
     if args.artifact.startswith("table"):
         if args.artifact == "table1":
@@ -131,30 +184,31 @@ def cmd_report(args: argparse.Namespace) -> int:
             ctx = ExperimentContext(args.scale, seed=args.seed,
                                     workers=args.workers)
             _, text = getattr(tables, args.artifact)(ctx)
-        print(text)
+        reporter.emit(text)
         return 0
     ctx = ExperimentContext(args.scale, seed=args.seed, workers=args.workers)
     data, text = getattr(figures, args.artifact)(ctx)
-    print(text)
+    reporter.emit(text)
     if args.svg_out:
         from .experiments.svg import figure_to_svg
         figure_to_svg(data, args.artifact.replace("fig", "Figure "),
                       path=args.svg_out)
-        print(f"SVG written to {args.svg_out}")
+        reporter.emit(f"SVG written to {args.svg_out}")
     return 0
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
     result = SearchResult.load(args.result)
-    print(result.summary())
-    print("\ncandidate Pareto front (accuracy, size kB):")
+    reporter.emit(result.summary())
+    reporter.emit("\ncandidate Pareto front (accuracy, size kB):")
     for accuracy, size_kb in result.candidate_front():
-        print(f"  {accuracy:.3f}  {size_kb:9.2f}")
+        reporter.emit(f"  {accuracy:.3f}  {size_kb:9.2f}")
     return 0
 
 
 def cmd_space(args: argparse.Namespace) -> int:
-    print(SearchSpace(args.dataset).summary())
+    ConsoleReporter().emit(SearchSpace(args.dataset).summary())
     return 0
 
 

@@ -23,6 +23,7 @@ from ..data.synthetic import synthetic_cifar10, synthetic_cifar100
 from ..nas.config import ScalePreset, SearchConfig, get_mode, get_scale
 from ..nas.results import SearchResult
 from ..nas.search import BOMPNAS
+from ..obs.trace import RunTracer
 
 #: paper reference values for the two datasets' scalarization configs
 REF_SIZE = {"cifar10": 8.0, "cifar100": 6.0}
@@ -45,17 +46,23 @@ class ExperimentContext:
     def __init__(self, scale_name: Optional[str] = None, seed: int = 7,
                  cache_dir: Optional[Path] = None,
                  use_disk_cache: bool = True,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 trace_dir: Optional[Path] = None) -> None:
         self.scale: ScalePreset = get_scale(scale_name)
         self.seed = seed
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.use_disk_cache = use_disk_cache
         # Worker count never enters cache keys: per-trial seeding makes
         # results bit-identical for any value, so parallelism is purely an
-        # execution detail.
+        # execution detail.  Tracing is an execution detail for the same
+        # reason: event logs are a side product, never a cache input.
         if workers is None:
             workers = int(os.environ.get("BOMP_WORKERS", "1"))
         self.workers = max(1, workers)
+        if trace_dir is None:
+            env_dir = os.environ.get("BOMP_TRACE_DIR")
+            trace_dir = Path(env_dir) if env_dir else None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._datasets: Dict[str, Dataset] = {}
         self._results: Dict[str, SearchResult] = {}
 
@@ -156,10 +163,26 @@ class ExperimentContext:
                 self._cache_key("bomp", config, extra="final=True"))
             if richer is not None:
                 return richer
-        result = BOMPNAS(config, self.dataset(dataset)).run(
-            final_training=final_training, workers=self.workers)
+        tracer = self._make_tracer("bomp", config)
+        try:
+            result = BOMPNAS(config, self.dataset(dataset)).run(
+                final_training=final_training, workers=self.workers,
+                tracer=tracer)
+        finally:
+            if tracer is not None:
+                tracer.close()
         self._store(key, result)
         return result
+
+    def _make_tracer(self, kind: str,
+                     config: SearchConfig) -> Optional[RunTracer]:
+        """A per-search run tracer under ``trace_dir``, if tracing is on."""
+        if self.trace_dir is None:
+            return None
+        run_dir = self.trace_dir / (
+            f"{kind}-{config.mode.name}-{config.dataset}-"
+            f"{config.scale.name}-seed{config.seed}")
+        return RunTracer(run_dir)
 
     def run_jasq(self, dataset: str, final_training: bool = True
                  ) -> SearchResult:

@@ -25,7 +25,6 @@ in-process or on a process pool — producing bit-identical results for any
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -40,6 +39,7 @@ from ..nn.network import Sequential
 from ..nn.optim import SGD, Adam, CosineDecayLR, Optimizer
 from ..nn.serialization import load_state_dict, state_dict
 from ..nn.trainer import Trainer
+from ..obs.trace import RunTracer, get_recorder, use_recorder
 from ..parallel.engine import DEFAULT_TRIAL_BATCH, TrialEngine, TrialSpec
 from ..parallel.seeding import trial_seed
 from ..quant.apply import apply_policy, calibrate, remove_quantizers
@@ -151,30 +151,45 @@ class BOMPNAS:
         """Steps (3)-(5): quantize per policy, optionally QAFT, evaluate.
 
         Returns ``(accuracy, size_bits)`` of the deployed candidate.  When
-        ``phase_times`` is given, the PTQ / QAFT / eval wall-times are
+        ``phase_times`` is given, the PTQ / QAFT / eval span durations are
         accumulated into it under those keys.
         """
         scale = self.config.scale
+        mode = self.config.mode
         rng = rng if rng is not None else self.rng
-        tick = time.perf_counter()
-        apply_policy(model, policy, observer_kind=self.config.observer)
-        calibrate(model, self.dataset.x_train,
-                  batch_size=scale.batch_size)
-        ptq_end = time.perf_counter()
-        if self.config.mode.qaft_in_loop and scale.qaft_epochs > 0:
-            quantization_aware_finetune(
-                model, self.dataset.x_train, self.dataset.y_train,
-                epochs=scale.qaft_epochs,
-                learning_rate=self.config.qaft_learning_rate,
-                batch_size=scale.batch_size, rng=rng)
-        qaft_end = time.perf_counter()
-        _, accuracy = evaluate_classifier(model, self.dataset.x_test,
-                                          self.dataset.y_test)
-        size = model_size_bits(model)
+        recorder = get_recorder()
+        with recorder.span("ptq", kind="phase") as ptq_span:
+            apply_policy(model, policy, observer_kind=self.config.observer)
+            calibrate(model, self.dataset.x_train,
+                      batch_size=scale.batch_size)
+        run_qaft = mode.qaft_in_loop and scale.qaft_epochs > 0
+        ptq_accuracy: Optional[float] = None
+        if run_qaft and recorder.enabled:
+            # PTQ accuracy before fine-tuning, for the qaft.recovery delta.
+            # Pure inference (no RNG, no state updates), so traced results
+            # stay bit-identical to untraced ones.
+            _, ptq_accuracy = evaluate_classifier(
+                model, self.dataset.x_test, self.dataset.y_test)
+        qaft_seconds = 0.0
+        if run_qaft:
+            with recorder.span("qaft", kind="phase") as qaft_span:
+                quantization_aware_finetune(
+                    model, self.dataset.x_train, self.dataset.y_train,
+                    epochs=scale.qaft_epochs,
+                    learning_rate=self.config.qaft_learning_rate,
+                    batch_size=scale.batch_size, rng=rng)
+            qaft_seconds = qaft_span.duration
+        with recorder.span("eval", kind="phase") as eval_span:
+            _, accuracy = evaluate_classifier(model, self.dataset.x_test,
+                                              self.dataset.y_test)
+            size = model_size_bits(model)
+        if ptq_accuracy is not None:
+            recorder.gauge("qaft.recovery", accuracy - ptq_accuracy,
+                           ptq_accuracy=ptq_accuracy, accuracy=accuracy)
         if phase_times is not None:
-            phase_times["ptq"] += ptq_end - tick
-            phase_times["qaft"] += qaft_end - ptq_end
-            phase_times["eval"] += time.perf_counter() - qaft_end
+            phase_times["ptq"] += ptq_span.duration
+            phase_times["qaft"] += qaft_seconds
+            phase_times["eval"] += eval_span.duration
         return accuracy, size
 
     def evaluate_candidate(self, genome: MixedPrecisionGenome,
@@ -186,70 +201,84 @@ class BOMPNAS:
         ``trial_seed(config.seed, index)`` (or the explicit ``seed``), so
         the outcome depends only on ``(genome, config, index)`` — never on
         evaluation order or which process runs it.
+
+        All wall-times come from spans: ``phase_times`` are the span
+        durations and ``wall_time_s`` the enclosing trial-span segment,
+        so the phases sum to the wall-time up to bookkeeping slack.
         """
         scale = self.config.scale
         mode = self.config.mode
         if seed is None:
             seed = trial_seed(self.config.seed, index)
         rng = np.random.default_rng(seed)
-        start = time.perf_counter()
-        model = self.early_train(genome, rng=rng)
-        train_time = time.perf_counter() - start
-        _, fp_accuracy = evaluate_classifier(model, self.dataset.x_test,
-                                             self.dataset.y_test)
-        macs = count_macs(model, self.dataset.image_shape[:2])
-        params = model.num_parameters()
-        fp_eval_time = time.perf_counter() - start - train_time
-
-        policies = [genome.policy]
-        for _ in range(self.config.policies_per_trial - 1):
-            policies.append(self.space.mutate_policy(genome.policy, rng,
-                                                     n_mutations=3))
-        snapshot = state_dict(model) if len(policies) > 1 else None
-
+        recorder = get_recorder()
         results: List[TrialResult] = []
-        for policy_index, policy in enumerate(policies):
-            phases = {"train": train_time if policy_index == 0 else 0.0,
-                      "ptq": 0.0, "qaft": 0.0,
-                      "eval": fp_eval_time if policy_index == 0 else 0.0}
-            policy_start = time.perf_counter()
-            if snapshot is not None and policy_index > 0:
-                remove_quantizers(model)
-                load_state_dict(model, snapshot)
-            if mode.quantize_in_loop:
-                accuracy, size = self.quantize_and_evaluate(
-                    model, policy, rng=rng, phase_times=phases)
-            else:
-                # post-NAS baseline: full-precision accuracy, scored
-                # against the deployment (8-bit homogeneous) size
-                accuracy = fp_accuracy
-                size = model_size_bits(model,
-                                       self.space.seed_policy(
-                                           mode.fixed_bits))
-            score = scalarize(accuracy, size, self.config.scalarization,
-                              macs=macs)
-            qaft_epochs = (scale.qaft_epochs if mode.qaft_in_loop else 0)
-            gpu_hours = self.cost_model.trial_hours(
-                macs, scale.n_train,
-                early_epochs=scale.early_epochs if policy_index == 0 else 0,
-                qaft_epochs=qaft_epochs)
-            wall_time = (phases["train"] + phases["eval"]
-                         if policy_index == 0 else 0.0)
-            wall_time += time.perf_counter() - policy_start
-            results.append(TrialResult(
-                index=index + policy_index,
-                genome=MixedPrecisionGenome(genome.arch, policy),
-                accuracy=accuracy, fp_accuracy=fp_accuracy,
-                size_bits=size, size_kb=size / (8 * 1024),
-                score=score, macs=macs, params=params,
-                train_seconds=time.perf_counter() - start,
-                gpu_hours=gpu_hours,
-                wall_time_s=wall_time, phase_times=phases))
+        with recorder.span("trial", kind="trial", trial=index) as trial_span:
+            with recorder.span("train", kind="phase") as train_span:
+                model = self.early_train(genome, rng=rng)
+            with recorder.span("eval", kind="phase") as fp_eval_span:
+                _, fp_accuracy = evaluate_classifier(
+                    model, self.dataset.x_test, self.dataset.y_test)
+                macs = count_macs(model, self.dataset.image_shape[:2])
+                params = model.num_parameters()
+
+            policies = [genome.policy]
+            for _ in range(self.config.policies_per_trial - 1):
+                policies.append(self.space.mutate_policy(genome.policy, rng,
+                                                         n_mutations=3))
+            snapshot = state_dict(model) if len(policies) > 1 else None
+
+            for policy_index, policy in enumerate(policies):
+                first = policy_index == 0
+                phases = {"train": train_span.duration if first else 0.0,
+                          "ptq": 0.0, "qaft": 0.0,
+                          "eval": fp_eval_span.duration if first else 0.0}
+                segment_start = trial_span.elapsed()
+                if snapshot is not None and policy_index > 0:
+                    remove_quantizers(model)
+                    load_state_dict(model, snapshot)
+                if mode.quantize_in_loop:
+                    accuracy, size = self.quantize_and_evaluate(
+                        model, policy, rng=rng, phase_times=phases)
+                else:
+                    # post-NAS baseline: full-precision accuracy, scored
+                    # against the deployment (8-bit homogeneous) size
+                    accuracy = fp_accuracy
+                    size = model_size_bits(model,
+                                           self.space.seed_policy(
+                                               mode.fixed_bits))
+                score = scalarize(accuracy, size, self.config.scalarization,
+                                  macs=macs)
+                qaft_epochs = (scale.qaft_epochs if mode.qaft_in_loop else 0)
+                gpu_hours = self.cost_model.trial_hours(
+                    macs, scale.n_train,
+                    early_epochs=scale.early_epochs if first else 0,
+                    qaft_epochs=qaft_epochs)
+                elapsed = trial_span.elapsed()
+                # the first result owns the shared train + FP-eval prefix
+                wall_time = elapsed if first else elapsed - segment_start
+                results.append(TrialResult(
+                    index=index + policy_index,
+                    genome=MixedPrecisionGenome(genome.arch, policy),
+                    accuracy=accuracy, fp_accuracy=fp_accuracy,
+                    size_bits=size, size_kb=size / (8 * 1024),
+                    score=score, macs=macs, params=params,
+                    train_seconds=train_span.duration,
+                    gpu_hours=gpu_hours,
+                    wall_time_s=wall_time, phase_times=phases))
+                if recorder.enabled:
+                    recorder.gauge("trial.score", score,
+                                   trial=index + policy_index,
+                                   accuracy=accuracy,
+                                   size_kb=size / (8 * 1024),
+                                   fp_accuracy=fp_accuracy)
+            trial_span.tags.update(results=len(results))
         return results
 
     # -- the loop -------------------------------------------------------------
     def run(self, final_training: bool = True, workers: int = 1,
-            batch_size: Optional[int] = None) -> SearchResult:
+            batch_size: Optional[int] = None,
+            tracer: Optional[RunTracer] = None) -> SearchResult:
         """Run the search; optionally finally train the Pareto set.
 
         Args:
@@ -260,35 +289,56 @@ class BOMPNAS:
                 round (default :data:`DEFAULT_TRIAL_BATCH`).  Part of the
                 search schedule — unlike ``workers`` it *does* change which
                 candidates are proposed.
+            tracer: optional :class:`~repro.obs.trace.RunTracer`; when
+                given, its recorder is installed for the duration of the
+                run and the full event stream goes to its run directory.
+                Tracing never changes the search result.
         """
         from .final_training import train_final_models  # cycle guard
-        optimizer = self.make_optimizer()
-        per_candidate = self.config.policies_per_trial
-        proposal_batch = max(1, batch_size if batch_size is not None
-                             else DEFAULT_TRIAL_BATCH)
-        total = self.config.scale.trials
-        trials: List[TrialResult] = []
-        engine = TrialEngine(self.config, self.dataset, workers=workers,
-                             cost_model=self.cost_model, space=self.space,
-                             evaluator=self)
-        with engine:
-            while len(trials) < total:
-                remaining = -(-(total - len(trials)) // per_candidate)
-                genomes = optimizer.ask_batch(min(proposal_batch, remaining))
-                specs = []
-                for j, genome in enumerate(genomes):
-                    index = len(trials) + j * per_candidate
-                    specs.append(TrialSpec(
-                        index=index, genome=genome,
-                        seed=trial_seed(self.config.seed, index)))
-                for batch in engine.evaluate(specs):
-                    for result in batch:
-                        optimizer.tell(result.genome, result.score)
-                        trials.append(result)
-                        if self.progress is not None:
-                            self.progress(result)
-        result = SearchResult(config=self.config, trials=trials)
-        if final_training:
-            result.final_models = train_final_models(
-                self, result.pareto_trials())
+        recorder = tracer.recorder if tracer is not None else get_recorder()
+        with use_recorder(recorder):
+            optimizer = self.make_optimizer()
+            per_candidate = self.config.policies_per_trial
+            proposal_batch = max(1, batch_size if batch_size is not None
+                                 else DEFAULT_TRIAL_BATCH)
+            total = self.config.scale.trials
+            trials: List[TrialResult] = []
+            engine = TrialEngine(self.config, self.dataset, workers=workers,
+                                 cost_model=self.cost_model,
+                                 space=self.space, evaluator=self)
+            if recorder.enabled:
+                recorder.meta(run=self.config.describe(),
+                              dataset=self.config.dataset,
+                              mode=self.config.mode.name,
+                              scale=self.config.scale.name,
+                              seed=self.config.seed,
+                              workers=workers, trials=total)
+            with recorder.span("run", kind="run",
+                               mode=self.config.mode.name,
+                               dataset=self.config.dataset,
+                               seed=self.config.seed):
+                with engine:
+                    while len(trials) < total:
+                        remaining = -(-(total - len(trials)) //
+                                      per_candidate)
+                        genomes = optimizer.ask_batch(
+                            min(proposal_batch, remaining))
+                        specs = []
+                        for j, genome in enumerate(genomes):
+                            index = len(trials) + j * per_candidate
+                            specs.append(TrialSpec(
+                                index=index, genome=genome,
+                                seed=trial_seed(self.config.seed, index),
+                                trace=recorder.enabled))
+                        for batch in engine.evaluate(specs):
+                            for result in batch:
+                                optimizer.tell(result.genome, result.score)
+                                trials.append(result)
+                                if self.progress is not None:
+                                    self.progress(result)
+                result = SearchResult(config=self.config, trials=trials)
+                if final_training:
+                    with recorder.span("final_training", kind="phase"):
+                        result.final_models = train_final_models(
+                            self, result.pareto_trials())
         return result

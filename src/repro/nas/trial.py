@@ -36,7 +36,10 @@ class TrialResult:
 
     ``wall_time_s`` and ``phase_times`` (train/ptq/qaft/eval wall-clock
     seconds) were added with the parallel engine; results serialized
-    before then load with both set to ``None``.
+    before then load with both set to ``None``.  All timings derive from
+    :mod:`repro.obs` spans: ``train_seconds`` is the early-training phase
+    alone (it used to also absorb FP-eval time), and ``phase_times`` sum
+    to ``wall_time_s`` up to bookkeeping slack.
     """
 
     index: int

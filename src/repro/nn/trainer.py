@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.trace import get_recorder
 from .losses import SoftmaxCrossEntropy, accuracy
 from .network import Sequential
 from .optim import Optimizer, clip_gradients
@@ -75,26 +76,38 @@ class Trainer:
         n = x.shape[0]
         order = rng.permutation(n)
         self.model.set_training(True)
-        epoch_loss = 0.0
-        epoch_correct = 0.0
-        for start in range(0, n, batch_size):
-            idx = order[start:start + batch_size]
-            xb = x[idx]
-            yb = labels[idx]
-            if self.augment is not None:
-                xb = self.augment(xb, rng)
-            logits = self.model.forward(xb)
-            loss_value = self.loss.forward(logits, yb)
-            self.model.zero_grad()
-            self.model.backward(self.loss.backward())
-            if self.grad_clip is not None:
-                clip_gradients(self.optimizer.params, self.grad_clip)
-            self.optimizer.step()
-            epoch_loss += loss_value * len(idx)
-            epoch_correct += accuracy(logits, yb) * len(idx)
-            history.steps += 1
-        history.train_loss.append(epoch_loss / n)
-        history.train_accuracy.append(epoch_correct / n)
+        recorder = get_recorder()
+        epoch_index = len(history.train_loss)
+        with recorder.span("epoch", kind="epoch", epoch=epoch_index) as span:
+            epoch_loss = 0.0
+            epoch_correct = 0.0
+            grad_norm = None
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                xb = x[idx]
+                yb = labels[idx]
+                if self.augment is not None:
+                    xb = self.augment(xb, rng)
+                logits = self.model.forward(xb)
+                loss_value = self.loss.forward(logits, yb)
+                self.model.zero_grad()
+                self.model.backward(self.loss.backward())
+                if self.grad_clip is not None:
+                    grad_norm = clip_gradients(self.optimizer.params,
+                                               self.grad_clip)
+                self.optimizer.step()
+                epoch_loss += loss_value * len(idx)
+                epoch_correct += accuracy(logits, yb) * len(idx)
+                history.steps += 1
+            history.train_loss.append(epoch_loss / n)
+            history.train_accuracy.append(epoch_correct / n)
+            if recorder.enabled:
+                # pre-clip global grad norm of the last batch; LR after it
+                span.tags.update(
+                    loss=history.train_loss[-1],
+                    accuracy=history.train_accuracy[-1],
+                    lr=self.optimizer.lr, grad_norm=grad_norm,
+                    steps=-(-n // batch_size))
 
     def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int,
             batch_size: int = 64,

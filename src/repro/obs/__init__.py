@@ -1,0 +1,37 @@
+"""Observability: structured tracing, metrics, and search-health reports.
+
+The package instruments the whole BOMP-NAS loop without touching its
+results:
+
+- :mod:`repro.obs.trace` — hierarchical spans
+  (``run > trial > phase > epoch``) and a process-wide current recorder
+  that defaults to a no-op, so instrumentation is free until a
+  :class:`TraceRecorder` / :class:`RunTracer` is installed;
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms, aggregated live and rebuildable from event logs;
+- :mod:`repro.obs.console` — line-buffered CLI progress reporting;
+- :mod:`repro.obs.report` — the ``repro report <run_dir>`` search-health
+  dashboard (text + SVG);
+- :mod:`repro.obs.schema` — validators for event logs and bench files.
+
+Enabling ``--trace`` must never change a trial result: instrumentation
+only reads values and clocks, never the run's random generators (enforced
+by ``tests/parallel/test_determinism.py``).
+"""
+
+from .console import ConsoleReporter
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import RunReport, load_report, render_text, write_report
+from .trace import (EVENTS_FILENAME, NULL_RECORDER, TRACE_SCHEMA_VERSION,
+                    Recorder, RunTracer, Span, TraceRecorder, get_recorder,
+                    read_events, set_recorder, span, use_recorder)
+
+__all__ = [
+    "Recorder", "TraceRecorder", "RunTracer", "Span",
+    "get_recorder", "set_recorder", "use_recorder", "span",
+    "read_events", "NULL_RECORDER", "TRACE_SCHEMA_VERSION",
+    "EVENTS_FILENAME",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ConsoleReporter",
+    "RunReport", "load_report", "render_text", "write_report",
+]

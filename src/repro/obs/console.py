@@ -1,0 +1,45 @@
+"""Line-buffered console progress reporting.
+
+Replaces the CLI's bare ``print()`` calls: every line is flushed as soon
+as it is written, so ``repro search ... | tee log`` and piped CI logs
+stream instead of buffering until exit.  ``--quiet`` suppresses progress
+chatter (:meth:`ConsoleReporter.info`) but never results
+(:meth:`ConsoleReporter.emit`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional
+
+
+class ConsoleReporter:
+    """Progress/result reporter with quiet gating and eager flushing.
+
+    Args:
+        quiet: suppress :meth:`info` progress lines (results still print).
+        stream: target text stream (default ``sys.stdout``).
+    """
+
+    def __init__(self, quiet: bool = False, stream: Optional[Any] = None
+                 ) -> None:
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _write(self, message: str) -> None:
+        self.stream.write(message + "\n")
+        self.stream.flush()
+
+    def info(self, message: str) -> None:
+        """Progress chatter; dropped under ``--quiet``."""
+        if not self.quiet:
+            self._write(message)
+
+    def emit(self, message: str) -> None:
+        """Results and summaries; always printed."""
+        self._write(message)
+
+    def trial(self, trial: Any) -> None:
+        """Per-trial progress line (matches the historical CLI format)."""
+        self.info(f"  trial {trial.index:>3}: acc={trial.accuracy:.3f} "
+                  f"size={trial.size_kb:8.2f} kB score={trial.score:.3f}")

@@ -1,0 +1,198 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the in-memory aggregation side of :mod:`repro.obs.trace`:
+a :class:`~repro.obs.trace.TraceRecorder` feeds every metric event it
+emits into one, and :func:`MetricsRegistry.from_events` rebuilds the same
+aggregates offline from a JSONL event log (what ``repro report`` does).
+
+Histograms use fixed bucket upper bounds (geometric, tuned for durations
+in seconds) so percentile queries are O(buckets) with bounded error and no
+sample retention — the usual monitoring-system trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+#: geometric upper bounds covering ~1 ms .. ~4 min (seconds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value plus min/max/mean of everything ever set."""
+
+    __slots__ = ("name", "value", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "count": self.count,
+                "mean": self.mean,
+                "min": self.vmin if self.count else None,
+                "max": self.vmax if self.count else None}
+
+
+class Histogram:
+    """Fixed-bucket histogram with approximate percentiles.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything larger.  ``percentile(p)`` returns the upper bound
+    of the bucket containing the p-quantile (exact max for the overflow
+    bucket), which bounds the error by the bucket geometry.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "vmin", "vmax")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bucket bounds must be non-empty and sorted")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-quantile (``p`` in [0, 1])."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = p * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if i == len(self.buckets):
+                    return self.vmax
+                return self.buckets[i]
+        return self.vmax
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "hist", "count": self.count, "mean": self.mean,
+                "min": self.vmin if self.count else None,
+                "max": self.vmax if self.count else None,
+                "p50": self.percentile(0.5), "p90": self.percentile(0.9),
+                "p99": self.percentile(0.99)}
+
+
+class MetricsRegistry:
+    """Name -> metric instrument, created on first use, type-checked."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if buckets is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, buckets)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def record_event(self, event: Dict[str, Any]) -> None:
+        """Aggregate one trace event (non-metric events are ignored)."""
+        type_ = event.get("type")
+        name = event.get("name")
+        if not name:
+            return
+        if type_ == "counter":
+            self.counter(name).inc(event.get("value", 1))
+        elif type_ == "gauge":
+            self.gauge(name).set(event["value"])
+        elif type_ == "hist":
+            self.histogram(name).observe(event["value"])
+
+    @classmethod
+    def from_events(cls, events: Iterable[Dict[str, Any]]
+                    ) -> "MetricsRegistry":
+        registry = cls()
+        for event in events:
+            registry.record_event(event)
+        return registry
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}

@@ -1,0 +1,329 @@
+"""Search-health reporting: dashboards from run-dir event logs.
+
+``repro report <run_dir>`` lands here: the JSONL event stream written by a
+traced run (:class:`~repro.obs.trace.RunTracer`) is folded into a
+:class:`RunReport` — incumbent trajectory, phase-time breakdown, training
+dynamics, GP surrogate health (kernel hyperparameters, acquisition values,
+predicted-vs-observed calibration), QAFT recovery, and process-pool
+telemetry — rendered as a text dashboard and optionally as SVG figures via
+the same :mod:`repro.experiments.svg` machinery the paper figures use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .metrics import MetricsRegistry
+from .trace import read_events
+
+#: phases shown in the breakdown, in pipeline order
+PHASE_ORDER = ("train", "ptq", "qaft", "eval", "final_training")
+
+_BAR_WIDTH = 28
+
+
+@dataclass
+class RunReport:
+    """Aggregated view over one traced run's event stream."""
+
+    source: str
+    events: List[Dict[str, Any]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    run_span: Optional[Dict[str, Any]] = None
+    trial_scores: List[Tuple[int, float, Dict[str, Any]]] = \
+        field(default_factory=list)      # (trial, score, tags)
+    phase_totals: Dict[str, float] = field(default_factory=dict)
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+    epochs: List[Dict[str, Any]] = field(default_factory=list)
+    gp_fits: List[Dict[str, Any]] = field(default_factory=list)
+    residuals: List[Dict[str, Any]] = field(default_factory=list)
+    acquisitions: List[Dict[str, Any]] = field(default_factory=list)
+    qaft_recovery: List[Dict[str, Any]] = field(default_factory=list)
+    pool_batches: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    # -- derived views -----------------------------------------------------
+    def incumbent_trajectory(self) -> List[Tuple[int, float]]:
+        """(trial index, best-so-far score) in trial order."""
+        best = -math.inf
+        trajectory = []
+        for trial, score, _ in sorted(self.trial_scores):
+            best = max(best, score)
+            trajectory.append((trial, best))
+        return trajectory
+
+    def calibration_points(self) -> List[Tuple[float, float, float]]:
+        """(predicted mean, observed score, predicted std) per GP tell."""
+        points = []
+        for event in self.residuals:
+            tags = event.get("tags", {})
+            if "predicted" in tags and "observed" in tags:
+                points.append((float(tags["predicted"]),
+                               float(tags["observed"]),
+                               float(tags.get("std", 0.0))))
+        return points
+
+    def calibration_summary(self) -> Dict[str, float]:
+        """Mean |residual| and the share of |z| <= 1 / <= 2 (68/95 rule)."""
+        points = self.calibration_points()
+        if not points:
+            return {}
+        residuals = [observed - predicted
+                     for predicted, observed, _ in points]
+        zs = [abs(r) / s for r, (_, _, s) in zip(residuals, points)
+              if s > 0]
+        summary = {
+            "n": float(len(points)),
+            "mean_abs_residual": sum(abs(r) for r in residuals)
+            / len(residuals),
+        }
+        if zs:
+            summary["z_within_1"] = sum(z <= 1 for z in zs) / len(zs)
+            summary["z_within_2"] = sum(z <= 2 for z in zs) / len(zs)
+        return summary
+
+
+def load_report(run_dir: Union[str, Path]) -> RunReport:
+    """Parse and aggregate a run directory's event log."""
+    events = read_events(run_dir)
+    report = RunReport(source=str(run_dir), events=events,
+                       metrics=MetricsRegistry.from_events(events))
+    for event in events:
+        type_ = event.get("type")
+        name = event.get("name", "")
+        if type_ == "meta":
+            payload = {k: v for k, v in event.items()
+                       if k not in ("type", "schema")}
+            report.meta.update(payload)
+        elif type_ == "span":
+            kind = event.get("kind")
+            if kind == "run":
+                report.run_span = event
+            elif kind == "phase":
+                report.phase_totals[name] = report.phase_totals.get(
+                    name, 0.0) + float(event.get("dur_s", 0.0))
+                report.phase_counts[name] = report.phase_counts.get(
+                    name, 0) + 1
+            elif kind == "epoch":
+                report.epochs.append(event)
+        elif type_ == "gauge":
+            if name == "trial.score":
+                report.trial_scores.append(
+                    (int(event.get("trial", -1)), float(event["value"]),
+                     event.get("tags", {})))
+            elif name == "gp.length_scale":
+                report.gp_fits.append(event)
+            elif name == "gp.residual":
+                report.residuals.append(event)
+            elif name == "bo.acq_best":
+                report.acquisitions.append(event)
+            elif name == "qaft.recovery":
+                report.qaft_recovery.append(event)
+            elif name == "pool.batch_wall_s":
+                report.pool_batches.append(event)
+    return report
+
+
+# -- text rendering --------------------------------------------------------
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _trajectory_lines(report: RunReport) -> List[str]:
+    trajectory = report.incumbent_trajectory()
+    if not trajectory:
+        return ["  (no trial scores recorded)"]
+    scores = [s for _, s in trajectory]
+    lo, hi = min(scores), max(scores)
+    span = (hi - lo) or 1.0
+    lines = []
+    # show at most 12 evenly spaced points, always including the last
+    step = max(1, len(trajectory) // 12)
+    picks = list(range(0, len(trajectory), step))
+    if picks[-1] != len(trajectory) - 1:
+        picks.append(len(trajectory) - 1)
+    for i in picks:
+        trial, best = trajectory[i]
+        lines.append(f"  trial {trial:>3}  best={best:8.3f}  "
+                     f"|{_bar((best - lo) / span)}|")
+    return lines
+
+
+def _phase_lines(report: RunReport) -> List[str]:
+    total = sum(report.phase_totals.values())
+    if total <= 0:
+        return ["  (no phase spans recorded)"]
+    lines = []
+    names = [p for p in PHASE_ORDER if p in report.phase_totals]
+    names += sorted(set(report.phase_totals) - set(PHASE_ORDER))
+    for name in names:
+        seconds = report.phase_totals[name]
+        share = seconds / total
+        lines.append(f"  {name:<14} {_bar(share)} {share:6.1%} "
+                     f"{seconds:9.2f}s  (n={report.phase_counts[name]})")
+    return lines
+
+
+def _epoch_lines(report: RunReport) -> List[str]:
+    losses = [e["tags"].get("loss") for e in report.epochs
+              if e.get("tags", {}).get("loss") is not None]
+    if not losses:
+        return ["  (no epoch telemetry recorded)"]
+    grad_norms = [e["tags"].get("grad_norm") for e in report.epochs
+                  if e.get("tags", {}).get("grad_norm") is not None]
+    lines = [f"  epochs recorded: {len(report.epochs)}  "
+             f"loss first={losses[0]:.4f} last={losses[-1]:.4f} "
+             f"min={min(losses):.4f}"]
+    if grad_norms:
+        lines.append(f"  grad norm mean={sum(grad_norms) / len(grad_norms):.3f} "
+                     f"max={max(grad_norms):.3f}")
+    return lines
+
+
+def _gp_lines(report: RunReport) -> List[str]:
+    lines = []
+    if report.gp_fits:
+        scales = [e["value"] for e in report.gp_fits]
+        n_obs = report.gp_fits[-1].get("tags", {}).get("n_obs")
+        lines.append(f"  fits: {len(scales)}  length_scale "
+                     f"first={scales[0]:.4g} last={scales[-1]:.4g}"
+                     + (f"  n_obs={n_obs}" if n_obs is not None else ""))
+    if report.acquisitions:
+        values = [e["value"] for e in report.acquisitions]
+        lines.append(f"  acquisition(best): first={values[0]:.4f} "
+                     f"last={values[-1]:.4f} max={max(values):.4f}")
+    calibration = report.calibration_summary()
+    if calibration:
+        line = (f"  calibration: n={int(calibration['n'])} "
+                f"mean|resid|={calibration['mean_abs_residual']:.4f}")
+        if "z_within_1" in calibration:
+            line += (f"  |z|<=1: {calibration['z_within_1']:.0%} "
+                     f"<=2: {calibration['z_within_2']:.0%} "
+                     f"(well-calibrated ~ 68%/95%)")
+        lines.append(line)
+    return lines or ["  (no GP diagnostics recorded)"]
+
+
+def _qaft_lines(report: RunReport) -> List[str]:
+    deltas = [e["value"] for e in report.qaft_recovery]
+    if not deltas:
+        return ["  (no QAFT recovery telemetry)"]
+    return [f"  recoveries: {len(deltas)}  mean dacc={sum(deltas) / len(deltas):+.4f} "
+            f"min={min(deltas):+.4f} max={max(deltas):+.4f}"]
+
+
+def _pool_lines(report: RunReport) -> List[str]:
+    if not report.pool_batches:
+        return ["  (serial run - no pool telemetry)"]
+    lines = [f"  batches: {len(report.pool_batches)}"]
+    util = report.metrics.get("pool.utilisation")
+    if util is not None and util.count:
+        lines.append(f"  worker utilisation mean={util.mean:.1%} "
+                     f"min={util.vmin:.1%}")
+    skew = report.metrics.get("pool.skew")
+    if skew is not None and skew.count:
+        lines.append(f"  task skew (max/mean) mean={skew.mean:.2f} "
+                     f"max={skew.vmax:.2f}")
+    task = report.metrics.get("pool.task_s")
+    if task is not None and task.count:
+        lines.append(f"  task time p50={task.percentile(0.5):.3g}s "
+                     f"p90={task.percentile(0.9):.3g}s "
+                     f"max={task.vmax:.3g}s")
+    return lines
+
+
+def render_text(report: RunReport) -> str:
+    """The full text dashboard."""
+    header = f"BOMP-NAS run health - {report.source}"
+    lines = [header, "=" * len(header)]
+    run_meta = report.meta.get("run")
+    if run_meta:
+        lines.append(f"run: {run_meta}")
+    if report.run_span is not None:
+        lines.append(f"wall time: {report.run_span['dur_s']:.2f}s  "
+                     f"events: {len(report.events)}")
+    lines.append("")
+    lines.append(f"incumbent trajectory "
+                 f"({len(report.trial_scores)} trials):")
+    lines.extend(_trajectory_lines(report))
+    lines.append("")
+    lines.append("phase-time breakdown:")
+    lines.extend(_phase_lines(report))
+    lines.append("")
+    lines.append("training dynamics:")
+    lines.extend(_epoch_lines(report))
+    lines.append("")
+    lines.append("GP surrogate:")
+    lines.extend(_gp_lines(report))
+    lines.append("")
+    lines.append("QAFT recovery:")
+    lines.extend(_qaft_lines(report))
+    lines.append("")
+    lines.append("process pool:")
+    lines.extend(_pool_lines(report))
+    return "\n".join(lines)
+
+
+# -- SVG rendering ---------------------------------------------------------
+# SvgScatter is imported inside the functions: repro.experiments imports the
+# search stack, which itself imports repro.obs — a module-level import here
+# would close that cycle.
+def trajectory_svg(report: RunReport) -> Optional[str]:
+    """Incumbent-trajectory figure, or ``None`` when no trials were traced."""
+    from ..experiments.svg import SvgScatter
+    trajectory = report.incumbent_trajectory()
+    if not trajectory:
+        return None
+    plot = SvgScatter(title="Incumbent trajectory", log_x=False,
+                      x_label="trial", y_label="best score so far")
+    plot.add("best score", [(float(t), s) for t, s in trajectory],
+             connect=True)
+    scores = [(float(t), s) for t, s, _ in sorted(report.trial_scores)]
+    plot.add("trial scores", scores, marker="square")
+    return plot.render()
+
+
+def calibration_svg(report: RunReport) -> Optional[str]:
+    """GP calibration scatter, or ``None`` when the GP never made
+    predictions (short runs end inside the initial-random phase)."""
+    from ..experiments.svg import SvgScatter
+    points = report.calibration_points()
+    if not points:
+        return None
+    plot = SvgScatter(title="GP calibration", log_x=False,
+                      x_label="predicted score", y_label="observed score")
+    plot.add("trials", [(p, o) for p, o, _ in points])
+    values = [v for p, o, _ in points for v in (p, o)]
+    lo, hi = min(values), max(values)
+    plot.add("ideal", [(lo, lo), (hi, hi)], connect=True, dashed=True)
+    return plot.render()
+
+
+def write_report(run_dir: Union[str, Path],
+                 svg_out: Optional[Union[str, Path]] = None
+                 ) -> Tuple[RunReport, str]:
+    """Load a run dir, render the text dashboard, optionally write SVGs.
+
+    With ``svg_out`` given, the trajectory figure goes to that path and
+    the calibration scatter next to it with a ``-calibration`` suffix;
+    figures with no data (e.g. no GP predictions yet) are skipped.
+    Returns ``(report, dashboard_text)``.
+    """
+    report = load_report(run_dir)
+    text = render_text(report)
+    if svg_out is not None:
+        svg_path = Path(svg_out)
+        svg_path.parent.mkdir(parents=True, exist_ok=True)
+        trajectory = trajectory_svg(report)
+        if trajectory is not None:
+            svg_path.write_text(trajectory)
+        calibration = calibration_svg(report)
+        if calibration is not None:
+            calibration_path = svg_path.with_name(
+                svg_path.stem + "-calibration" + (svg_path.suffix or ".svg"))
+            calibration_path.write_text(calibration)
+    return report, text

@@ -1,0 +1,149 @@
+"""Validators for run-dir JSONL event logs and ``BENCH_*.json`` files.
+
+Both file families are append-only contracts consumed by later PRs (the
+``repro report`` dashboard, the bench trajectory): these validators keep
+them honest.  Each function returns a list of human-readable problems —
+empty means valid — so callers can aggregate across files.
+``scripts/check_schema.py`` is the CLI wrapper; the pytest suite runs the
+same checks as a tier-1 test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .trace import EVENT_TYPES, SPAN_KINDS, TRACE_SCHEMA_VERSION, events_path
+
+#: fields every span event must carry
+SPAN_FIELDS = ("kind", "name", "span", "parent", "trial", "t_wall",
+               "dur_s", "tags")
+
+#: fields every metric event must carry
+METRIC_FIELDS = ("name", "value", "trial", "tags")
+
+
+def _problem(index: int, message: str) -> str:
+    return f"event {index}: {message}"
+
+
+def validate_events(events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Validate a parsed event stream; returns problems (empty = valid)."""
+    problems: List[str] = []
+    span_ids = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(_problem(index, "not a JSON object"))
+            continue
+        type_ = event.get("type")
+        if type_ not in EVENT_TYPES:
+            problems.append(_problem(index, f"unknown type {type_!r}"))
+            continue
+        if type_ == "meta":
+            schema = event.get("schema")
+            if schema != TRACE_SCHEMA_VERSION:
+                problems.append(_problem(
+                    index, f"meta schema {schema!r} != "
+                           f"{TRACE_SCHEMA_VERSION}"))
+            continue
+        if type_ == "span":
+            for field in SPAN_FIELDS:
+                if field not in event:
+                    problems.append(_problem(
+                        index, f"span missing field {field!r}"))
+            if event.get("kind") not in SPAN_KINDS:
+                problems.append(_problem(
+                    index, f"unknown span kind {event.get('kind')!r}"))
+            span_id = event.get("span")
+            if not isinstance(span_id, int):
+                problems.append(_problem(index, "span id must be an int"))
+            elif span_id in span_ids:
+                problems.append(_problem(
+                    index, f"duplicate span id {span_id}"))
+            else:
+                span_ids.add(span_id)
+            duration = event.get("dur_s")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(_problem(
+                    index, f"dur_s must be a non-negative number, "
+                           f"got {duration!r}"))
+            if not isinstance(event.get("tags"), dict):
+                problems.append(_problem(index, "tags must be an object"))
+        else:  # counter / gauge / hist
+            for field in METRIC_FIELDS:
+                if field not in event:
+                    problems.append(_problem(
+                        index, f"{type_} missing field {field!r}"))
+            value = event.get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(_problem(
+                    index, f"{type_} value must be a number, "
+                           f"got {value!r}"))
+    # parents may close after their children, so resolve after a full pass
+    for index, event in enumerate(events):
+        if isinstance(event, dict) and event.get("type") == "span":
+            parent = event.get("parent")
+            if parent is not None and parent not in span_ids:
+                problems.append(_problem(
+                    index, f"parent {parent} references no span"))
+    return problems
+
+
+def validate_events_file(path: Union[str, Path]) -> List[str]:
+    """Validate a JSONL event log (run directory or file path)."""
+    resolved = events_path(path)
+    if not resolved.exists():
+        return [f"{resolved}: no event log found"]
+    events = []
+    problems: List[str] = []
+    with open(resolved) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {line_no}: invalid JSON ({exc})")
+    problems.extend(validate_events(events))
+    return [f"{resolved}: {p}" for p in problems]
+
+
+def validate_bench(payload: Dict[str, Any]) -> List[str]:
+    """Validate a parsed ``BENCH_*.json`` payload."""
+    from ..parallel.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["bench payload is not a JSON object"]
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(f"schema {payload.get('schema')!r} != "
+                        f"{BENCH_SCHEMA_VERSION}")
+    runs = payload.get("runs")
+    if not isinstance(runs, list):
+        return problems + ["'runs' must be a list"]
+    for index, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"run {index}: not a JSON object")
+            continue
+        for field in RECORD_FIELDS:
+            if field not in run:
+                problems.append(f"run {index}: missing field {field!r}")
+    return problems
+
+
+def validate_bench_file(path: Union[str, Path]) -> List[str]:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    return [f"{path}: {p}" for p in validate_bench(payload)]
+
+
+def validate_path(path: Union[str, Path]) -> List[str]:
+    """Dispatch on path shape: bench JSON, event log, or run directory."""
+    path = Path(path)
+    if path.is_file() and path.name.startswith("BENCH"):
+        return validate_bench_file(path)
+    return validate_events_file(path)

@@ -1,0 +1,325 @@
+"""Zero-dependency hierarchical tracing core.
+
+The BOMP-NAS loop is a pipeline of expensive stages (early train -> PTQ ->
+QAFT -> eval -> GP update); this module records it as a stream of *events*:
+
+- **spans** — timed sections forming a hierarchy
+  ``run > trial > phase{train,ptq,qaft,eval} > epoch`` with wall-clock
+  start, monotonic duration and free-form tags;
+- **metrics** — counters, gauges, and histogram observations (see
+  :mod:`repro.obs.metrics`), emitted alongside the spans.
+
+Instrumentation is pay-for-what-you-use: the process-wide *current
+recorder* defaults to a :class:`Recorder` no-op whose methods discard
+everything, so instrumented code costs two ``perf_counter`` reads per span
+and nothing per metric.  Installing a :class:`TraceRecorder` (via
+:func:`use_recorder`, a :class:`RunTracer`, or the CLI ``--trace`` flag)
+turns the same call sites into an in-memory event list, an aggregated
+metrics registry, and optionally a line-buffered JSONL sink.
+
+Spans *always* time themselves — callers may read ``span.duration`` after
+the ``with`` block even under the no-op recorder — which is what lets
+:mod:`repro.nas.search` derive ``TrialResult.phase_times`` from spans
+instead of hand-threaded ``perf_counter`` arithmetic.
+
+Worker processes collect their trial events with a private
+:class:`TraceRecorder` and ship them back through the ``TrialOutcome``
+protocol; :meth:`TraceRecorder.ingest` rebases their span ids under the
+current span so parallel runs produce one coherent stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+#: bump when an event field is renamed/removed (additions are compatible)
+TRACE_SCHEMA_VERSION = 1
+
+#: the span hierarchy, outermost first ("span" is the free-form catch-all)
+SPAN_KINDS = ("run", "trial", "phase", "epoch", "span")
+
+#: every event ``type`` a stream may contain
+EVENT_TYPES = ("meta", "span", "counter", "gauge", "hist")
+
+#: default event-log filename inside a run directory
+EVENTS_FILENAME = "events.jsonl"
+
+
+class Span:
+    """One timed section; a context manager that always measures.
+
+    Under the no-op recorder the span still records ``duration`` (two
+    ``perf_counter`` reads) but gets no id and emits nothing.  An enabled
+    recorder assigns ``span_id``/``parent_id`` on entry and serializes the
+    span as an event on exit.
+    """
+
+    __slots__ = ("recorder", "name", "kind", "trial", "tags", "span_id",
+                 "parent_id", "t_wall", "duration", "_t0")
+
+    def __init__(self, recorder: "Recorder", name: str, kind: str = "span",
+                 trial: Optional[int] = None,
+                 tags: Optional[Dict[str, Any]] = None) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.kind = kind
+        self.trial = trial
+        self.tags = tags if tags is not None else {}
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.t_wall = 0.0
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        self.recorder._span_started(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.duration = time.perf_counter() - self._t0
+        self.recorder._span_finished(self)
+
+    def elapsed(self) -> float:
+        """Seconds since entry (usable while the span is still open)."""
+        return time.perf_counter() - self._t0
+
+    def as_event(self) -> Dict[str, Any]:
+        return {"type": "span", "kind": self.kind, "name": self.name,
+                "span": self.span_id, "parent": self.parent_id,
+                "trial": self.trial, "t_wall": self.t_wall,
+                "dur_s": self.duration, "tags": self.tags}
+
+
+class Recorder:
+    """The no-op recorder — also the base class for real ones.
+
+    Every instrumentation hook goes through this interface, so the default
+    cost of tracing-off is one attribute read (``enabled``) per metric and
+    one :class:`Span` allocation per span.
+    """
+
+    enabled = False
+
+    def span(self, name: str, kind: str = "span",
+             trial: Optional[int] = None, **tags: Any) -> Span:
+        return Span(self, name, kind=kind, trial=trial, tags=tags or None)
+
+    def event(self, payload: Dict[str, Any]) -> None:
+        pass
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                trial: Optional[int] = None, **tags: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float,
+              trial: Optional[int] = None, **tags: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                trial: Optional[int] = None, **tags: Any) -> None:
+        pass
+
+    def meta(self, **payload: Any) -> None:
+        pass
+
+    def ingest(self, events: Optional[List[Dict[str, Any]]]) -> None:
+        pass
+
+    # span lifecycle hooks (no-ops here)
+    def _span_started(self, span: Span) -> None:
+        pass
+
+    def _span_finished(self, span: Span) -> None:
+        pass
+
+
+class TraceRecorder(Recorder):
+    """Collects events in memory, aggregates metrics, optionally sinks JSONL.
+
+    Args:
+        sink: optional writable text stream; every event is written as one
+            JSON line and flushed immediately, so piped/tailed logs stream
+            and a crashed run keeps everything recorded so far.
+        metrics: optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+            a fresh one is created by default.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Any] = None,
+                 metrics: Optional[Any] = None) -> None:
+        from .metrics import MetricsRegistry
+        self.events: List[Dict[str, Any]] = []
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- span lifecycle ----------------------------------------------------
+    def _span_started(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            if span.trial is None:  # inherit trial index from the parent
+                span.trial = self._stack[-1].trial
+        self._stack.append(span)
+
+    def _span_finished(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # tolerate out-of-order exits
+        if self._stack:
+            self._stack.pop()
+        self.event(span.as_event())
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- event emission ----------------------------------------------------
+    def event(self, payload: Dict[str, Any]) -> None:
+        self.events.append(payload)
+        self.metrics.record_event(payload)
+        if self.sink is not None:
+            self.sink.write(json.dumps(payload) + "\n")
+            self.sink.flush()
+
+    def _metric(self, type_: str, name: str, value: Union[int, float],
+                trial: Optional[int], tags: Dict[str, Any]) -> None:
+        if trial is None and self._stack:
+            trial = self._stack[-1].trial
+        self.event({"type": type_, "name": name, "value": value,
+                    "trial": trial, "tags": tags})
+
+    def counter(self, name: str, value: Union[int, float] = 1,
+                trial: Optional[int] = None, **tags: Any) -> None:
+        self._metric("counter", name, value, trial, tags)
+
+    def gauge(self, name: str, value: float,
+              trial: Optional[int] = None, **tags: Any) -> None:
+        self._metric("gauge", name, float(value), trial, tags)
+
+    def observe(self, name: str, value: float,
+                trial: Optional[int] = None, **tags: Any) -> None:
+        self._metric("hist", name, float(value), trial, tags)
+
+    def meta(self, **payload: Any) -> None:
+        self.event({"type": "meta", "schema": TRACE_SCHEMA_VERSION,
+                    **payload})
+
+    def ingest(self, events: Optional[List[Dict[str, Any]]]) -> None:
+        """Merge a worker's event list into this stream.
+
+        Worker span ids live in their own per-trial id space starting at 1;
+        they are rebased past ``_next_id`` and orphan spans are parented
+        under the currently open span, so the merged stream forms a single
+        tree rooted at the run span.
+        """
+        if not events:
+            return
+        base = self._next_id
+        max_id = 0
+        parent = self.current_span()
+        parent_id = parent.span_id if parent is not None else None
+        for source in events:
+            payload = dict(source)
+            if payload.get("type") == "span":
+                span_id = payload.get("span")
+                if span_id is not None:
+                    max_id = max(max_id, span_id)
+                    payload["span"] = span_id + base
+                if payload.get("parent") is None:
+                    payload["parent"] = parent_id
+                else:
+                    payload["parent"] = payload["parent"] + base
+            self.event(payload)
+        self._next_id = base + max_id + 1
+
+
+#: the process-wide no-op default (shared, stateless)
+NULL_RECORDER = Recorder()
+
+_current: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The current recorder (the no-op singleton unless one is installed)."""
+    return _current
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install ``recorder`` (``None`` -> no-op); returns the previous one."""
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: Optional[Recorder]) -> Iterator[Recorder]:
+    """Scoped :func:`set_recorder`; restores the previous recorder on exit."""
+    previous = set_recorder(recorder)
+    try:
+        yield get_recorder()
+    finally:
+        set_recorder(previous)
+
+
+def span(name: str, kind: str = "span", trial: Optional[int] = None,
+         **tags: Any) -> Span:
+    """A span on the *current* recorder (module-level convenience)."""
+    return _current.span(name, kind=kind, trial=trial, **tags)
+
+
+# -- event-log files -------------------------------------------------------
+def events_path(run_dir: Union[str, Path]) -> Path:
+    """The event-log path for a run directory (or a direct ``.jsonl`` path)."""
+    path = Path(run_dir)
+    if path.is_dir() or path.suffix != ".jsonl":
+        return path / EVENTS_FILENAME
+    return path
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL event log (run directory or file path)."""
+    resolved = events_path(path)
+    events = []
+    with open(resolved) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class RunTracer:
+    """Owns a run directory and streams its event log to disk.
+
+    Create one per traced run; pass it to ``BOMPNAS.run(tracer=...)`` or
+    install ``tracer.recorder`` with :func:`use_recorder`.  Use as a
+    context manager (or call :meth:`close`) to release the file handle.
+    """
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.run_dir / EVENTS_FILENAME
+        self._handle = open(self.path, "w")
+        self.recorder = TraceRecorder(sink=self._handle)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self.recorder.sink = None
+
+    def __enter__(self) -> "RunTracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

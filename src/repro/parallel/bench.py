@@ -72,11 +72,16 @@ def _results_identical(a, b) -> bool:
 def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
                     mode: str = "mp_qaft", seed: int = 7,
                     workers: Optional[int] = None,
-                    batch_size: Optional[int] = None) -> Dict[str, Any]:
+                    batch_size: Optional[int] = None,
+                    measure_traced: bool = False) -> Dict[str, Any]:
     """Time a serial and a parallel search of the same config.
 
     Returns a ``BENCH_parallel.json`` record.  Final training is skipped —
-    the trial loop is the parallelized hot path being measured.
+    the trial loop is the parallelized hot path being measured.  With
+    ``measure_traced``, a third serial run with ``--trace`` enabled is
+    timed and appended as ``traced_serial_s`` / ``trace_overhead`` (the
+    traced-over-untraced wall-clock ratio minus one), and the record's
+    ``identical`` also requires the traced results to match bit-for-bit.
     """
     from ..bo.scalarization import ScalarizationConfig
     from ..data.synthetic import load_dataset
@@ -112,7 +117,8 @@ def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
         cpu_count = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover — non-Linux
         cpu_count = os.cpu_count() or 1
-    return {
+    identical = _results_identical(serial, parallel)
+    record = {
         "timestamp": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         "scale": scale_preset.name, "dataset": dataset, "mode": mode,
@@ -121,5 +127,21 @@ def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
         "cpu_count": cpu_count,
         "serial_s": round(serial_s, 3), "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "identical": _results_identical(serial, parallel),
+        "identical": identical,
     }
+    if measure_traced:
+        import tempfile
+        from ..obs.trace import RunTracer
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            with RunTracer(Path(tmp) / "run") as tracer:
+                traced = BOMPNAS(config, data).run(
+                    final_training=False, workers=1, batch_size=batch_size,
+                    tracer=tracer)
+            traced_s = time.perf_counter() - start
+        record["traced_serial_s"] = round(traced_s, 3)
+        record["trace_overhead"] = (
+            round(traced_s / serial_s - 1.0, 4) if serial_s else None)
+        record["identical"] = identical and _results_identical(serial,
+                                                               traced)
+    return record

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..data.datasets import Dataset
+from ..obs.trace import TraceRecorder, get_recorder, use_recorder
 from ..space.genome import MixedPrecisionGenome
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,21 +68,25 @@ class TrialSpec:
     The spec is deliberately tiny and picklable: the genome, the index the
     trial will occupy in the result list, and the pre-derived trial seed.
     The heavy, run-constant state (config, dataset, space) ships once per
-    worker through the pool initializer, never per task.
+    worker through the pool initializer, never per task.  ``trace`` asks
+    the worker to collect span/metric events for this trial; it must never
+    affect the results themselves (tracing reads clocks, not RNGs).
     """
 
     index: int
     genome: MixedPrecisionGenome
     seed: int
+    trace: bool = False
 
 
 @dataclass
 class TrialOutcome:
-    """What a worker sends back: results, or a formatted error."""
+    """What a worker sends back: results (plus trace events), or an error."""
 
     index: int
     results: Optional[List["TrialResult"]] = None
     error: Optional[str] = None
+    events: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclass
@@ -121,6 +127,26 @@ def _build_evaluator(payload: _WorkerPayload) -> "BOMPNAS":
                    space=payload.space)
 
 
+def _evaluate_spec(evaluator: "BOMPNAS", spec: TrialSpec) -> TrialOutcome:
+    """Evaluate one spec, collecting trace events when the spec asks.
+
+    Shared by the worker task and the serial path so both produce the same
+    outcome shape: per-trial events are collected in a private recorder
+    and shipped back through the outcome, never written directly — the
+    parent's recorder merges them in spec order into one stream.
+    """
+    if not spec.trace:
+        results = evaluator.evaluate_candidate(spec.genome, spec.index,
+                                               seed=spec.seed)
+        return TrialOutcome(index=spec.index, results=results)
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        results = evaluator.evaluate_candidate(spec.genome, spec.index,
+                                               seed=spec.seed)
+    return TrialOutcome(index=spec.index, results=results,
+                        events=recorder.events)
+
+
 def _run_trial(spec: TrialSpec) -> TrialOutcome:
     """Worker task: evaluate one spec with the cached evaluator."""
     try:
@@ -128,9 +154,7 @@ def _run_trial(spec: TrialSpec) -> TrialOutcome:
         if evaluator is None:
             evaluator = _build_evaluator(_WORKER_STATE["payload"])
             _WORKER_STATE["evaluator"] = evaluator
-        results = evaluator.evaluate_candidate(spec.genome, spec.index,
-                                               seed=spec.seed)
-        return TrialOutcome(index=spec.index, results=results)
+        return _evaluate_spec(evaluator, spec)
     except Exception:  # noqa: BLE001 — ship the full traceback back
         return TrialOutcome(index=spec.index,
                             error=traceback.format_exc())
@@ -232,6 +256,9 @@ class TrialEngine:
         """
         if not specs:
             return []
+        submit_wall = time.time()
+        batch_start = time.perf_counter()
+        pooled = self._pool is not None
         if self._pool is not None:
             try:
                 outcomes = self._pool.map(_run_trial, specs, chunksize=1)
@@ -240,26 +267,68 @@ class TrialEngine:
                     f"process pool failed ({exc!r}); finishing serially",
                     RuntimeWarning, stacklevel=2)
                 self.close()
+                pooled = False
                 outcomes = self._evaluate_serial(specs)
         else:
             outcomes = self._evaluate_serial(specs)
+        batch_wall = time.perf_counter() - batch_start
         batches: List[List["TrialResult"]] = []
+        recorder = get_recorder()
         for spec, outcome in zip(specs, outcomes):
             if outcome.error is not None:
                 raise TrialEvaluationError(
                     f"trial {spec.index} failed in worker:\n{outcome.error}")
+            recorder.ingest(outcome.events)
             batches.append(outcome.results)
+        if recorder.enabled:
+            self._record_pool_telemetry(outcomes, pooled=pooled,
+                                        batch_wall=batch_wall,
+                                        submit_wall=submit_wall)
         return batches
+
+    def _record_pool_telemetry(self, outcomes: List[TrialOutcome],
+                               pooled: bool, batch_wall: float,
+                               submit_wall: float) -> None:
+        """Emit per-batch pool health: queue wait, utilisation, skew.
+
+        Task durations come from each outcome's trial span, so this works
+        on both the pool and the serial fallback (tagged ``parallel``).
+        """
+        recorder = get_recorder()
+        durations = []
+        for outcome in outcomes:
+            for event in outcome.events or ():
+                if event.get("type") == "span" and \
+                        event.get("kind") == "trial":
+                    durations.append(float(event["dur_s"]))
+                    # queue wait: submit -> worker picked the task up
+                    recorder.observe(
+                        "pool.queue_wait_s",
+                        max(0.0, event["t_wall"] - submit_wall),
+                        trial=event.get("trial"))
+                    break
+        if not durations:
+            return
+        for duration in durations:
+            recorder.observe("pool.task_s", duration)
+        workers = self.workers if pooled else 1
+        busy = sum(durations)
+        recorder.gauge("pool.batch_wall_s", batch_wall,
+                       tasks=len(outcomes), workers=workers,
+                       parallel=pooled)
+        if batch_wall > 0:
+            recorder.gauge("pool.utilisation",
+                           min(1.0, busy / (workers * batch_wall)))
+        mean_task = busy / len(durations)
+        if mean_task > 0:
+            recorder.gauge("pool.skew", max(durations) / mean_task)
 
     def _evaluate_serial(self, specs: List[TrialSpec]) -> List[TrialOutcome]:
         evaluator = self._serial_evaluator()
         outcomes = []
         for spec in specs:
             try:
-                results = evaluator.evaluate_candidate(
-                    spec.genome, spec.index, seed=spec.seed)
-                outcomes.append(TrialOutcome(index=spec.index,
-                                             results=results))
+                outcomes.append(_evaluate_spec(evaluator, spec))
             except Exception:  # noqa: BLE001 — symmetric with worker path
                 outcomes.append(TrialOutcome(index=spec.index,
                                              error=traceback.format_exc()))

@@ -26,6 +26,7 @@ from ..nn.conv import Conv2D, DepthwiseConv2D
 from ..nn.layers import Dense
 from ..nn.module import Module
 from ..nn.network import Sequential
+from ..obs.trace import get_recorder
 from .observers import make_observer
 from .policy import QuantizationPolicy
 from .quantizers import ActivationQuantizer, WeightQuantizer
@@ -92,6 +93,14 @@ def calibrate(model: Sequential, x: np.ndarray,
             break
     for quantizer in quantizers:
         quantizer.freeze()
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.counter("ptq.calibrated_layers", len(quantizers))
+        recorder.gauge("ptq.calibration_batches", n_batches)
+        for quantizer in quantizers:
+            scale, zero_point = quantizer.quant_params()
+            recorder.observe("ptq.act_scale", scale)
+            recorder.observe("ptq.act_zero_point", zero_point)
 
 
 def remove_quantizers(model: Module) -> None:

@@ -1,0 +1,37 @@
+"""Console reporter: quiet gating and the historical trial format."""
+
+import io
+
+from repro.obs.console import ConsoleReporter
+
+
+class FakeTrial:
+    index = 3
+    accuracy = 0.512
+    size_kb = 43.25
+    score = 1.234
+
+
+class TestConsoleReporter:
+    def test_info_suppressed_by_quiet(self):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(quiet=True, stream=stream)
+        reporter.info("progress")
+        reporter.emit("result")
+        assert stream.getvalue() == "result\n"
+
+    def test_info_printed_by_default(self):
+        stream = io.StringIO()
+        ConsoleReporter(stream=stream).info("progress")
+        assert stream.getvalue() == "progress\n"
+
+    def test_trial_line_matches_historical_format(self):
+        stream = io.StringIO()
+        ConsoleReporter(stream=stream).trial(FakeTrial())
+        assert stream.getvalue() == \
+            "  trial   3: acc=0.512 size=   43.25 kB score=1.234\n"
+
+    def test_trial_respects_quiet(self):
+        stream = io.StringIO()
+        ConsoleReporter(quiet=True, stream=stream).trial(FakeTrial())
+        assert stream.getvalue() == ""

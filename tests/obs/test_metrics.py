@@ -1,0 +1,92 @@
+"""Metrics instruments and the registry's event-stream rebuild."""
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_last_and_aggregates(self):
+        g = Gauge("g")
+        for v in (3.0, 1.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.vmin == 1.0 and g.vmax == 3.0
+        assert g.mean == pytest.approx(2.0)
+
+    def test_empty_snapshot(self):
+        snap = Gauge("g").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestHistogram:
+    def test_percentiles_bounded_by_buckets(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.percentile(0.0) <= h.percentile(0.5) <= h.percentile(1.0)
+        assert h.percentile(0.5) == 2.0  # bucket upper bound
+        assert h.percentile(1.0) == 4.0
+
+    def test_overflow_bucket_returns_exact_max(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(123.0)
+        assert h.percentile(0.99) == 123.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.5) == 0.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_and_type_conflict(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_rebuild_from_events_matches_live(self):
+        events = [
+            {"type": "counter", "name": "n", "value": 2,
+             "trial": None, "tags": {}},
+            {"type": "gauge", "name": "g", "value": 1.5,
+             "trial": 0, "tags": {}},
+            {"type": "hist", "name": "h", "value": 0.2,
+             "trial": 0, "tags": {}},
+            {"type": "span", "kind": "phase", "name": "train", "span": 1,
+             "parent": None, "trial": 0, "t_wall": 0.0, "dur_s": 0.1,
+             "tags": {}},  # ignored by the registry
+            {"type": "meta", "schema": 1},  # ignored too
+        ]
+        reg = MetricsRegistry.from_events(events)
+        assert reg.names() == ["g", "h", "n"]
+        assert reg.counter("n").value == 2
+        assert reg.gauge("g").value == 1.5
+        assert reg.histogram("h").count == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        snap = reg.snapshot()
+        assert snap["g"]["type"] == "gauge"
+        assert snap["g"]["value"] == 1.0

@@ -1,0 +1,95 @@
+"""The search-health report over a real traced run."""
+
+import pytest
+
+from repro.obs.report import (RunReport, calibration_svg, load_report,
+                              render_text, trajectory_svg, write_report)
+from repro.obs.trace import read_events
+
+
+@pytest.fixture(scope="module")
+def report(traced_run):
+    run_dir, _ = traced_run
+    return load_report(run_dir)
+
+
+class TestLoadReport:
+    def test_meta_and_run_span(self, report):
+        assert "mp_qaft" in report.meta.get("run", "")
+        assert report.run_span is not None
+        assert report.run_span["dur_s"] > 0
+
+    def test_trial_scores_match_results(self, report, traced_run):
+        _, result = traced_run
+        scores = {trial: score for trial, score, _ in report.trial_scores}
+        assert scores == {t.index: t.score for t in result.trials}
+
+    def test_phase_totals_cover_pipeline(self, report):
+        assert {"train", "ptq", "qaft", "eval"} <= set(report.phase_totals)
+        assert all(v >= 0 for v in report.phase_totals.values())
+
+    def test_gp_diagnostics_recorded(self, report):
+        # batch_size=1 + n_initial_random=2 guarantee at least one GP fit
+        assert report.gp_fits
+        assert report.acquisitions
+        assert report.residuals
+
+    def test_epoch_telemetry_recorded(self, report):
+        assert report.epochs
+        assert all("loss" in e["tags"] for e in report.epochs)
+
+    def test_qaft_recovery_recorded(self, report):
+        assert report.qaft_recovery
+        for event in report.qaft_recovery:
+            tags = event["tags"]
+            assert event["value"] == pytest.approx(
+                tags["accuracy"] - tags["ptq_accuracy"])
+
+
+class TestDerivedViews:
+    def test_incumbent_trajectory_monotonic(self, report):
+        trajectory = report.incumbent_trajectory()
+        bests = [b for _, b in trajectory]
+        assert bests == sorted(bests)
+        assert len(trajectory) == len(report.trial_scores)
+
+    def test_calibration_points_and_summary(self, report):
+        points = report.calibration_points()
+        assert points
+        summary = report.calibration_summary()
+        assert summary["n"] == len(points)
+        assert summary["mean_abs_residual"] >= 0
+
+    def test_empty_report_views(self):
+        empty = RunReport(source="x", events=[])
+        assert empty.incumbent_trajectory() == []
+        assert empty.calibration_summary() == {}
+
+
+class TestRendering:
+    def test_text_dashboard_sections(self, report):
+        text = render_text(report)
+        for section in ("incumbent trajectory", "phase-time breakdown",
+                        "training dynamics", "GP surrogate",
+                        "QAFT recovery", "process pool"):
+            assert section in text
+
+    def test_svgs_are_valid_xml(self, report):
+        import xml.etree.ElementTree as ET
+        for markup in (trajectory_svg(report), calibration_svg(report)):
+            assert markup is not None
+            assert ET.fromstring(markup).tag.endswith("svg")
+
+    def test_empty_report_svgs_are_none(self):
+        empty = RunReport(source="x", events=[])
+        assert trajectory_svg(empty) is None
+        assert calibration_svg(empty) is None
+
+    def test_write_report_writes_svgs(self, traced_run, tmp_path):
+        run_dir, _ = traced_run
+        svg = tmp_path / "dash.svg"
+        report, text = write_report(run_dir, svg_out=svg)
+        assert "BOMP-NAS run health" in text
+        assert svg.exists()
+        assert (tmp_path / "dash-calibration.svg").exists()
+        assert len(report.events) == len(read_events(run_dir))

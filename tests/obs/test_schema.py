@@ -1,0 +1,103 @@
+"""Schema validation for event logs and BENCH files (tier-1 guard).
+
+Also runs ``scripts/check_schema.py`` against the repo's committed
+``BENCH_*.json`` files, so a malformed bench record fails the suite.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schema import (validate_bench, validate_events,
+                              validate_events_file, validate_path)
+from repro.obs.trace import read_events
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _span(span_id, parent=None, kind="phase", name="train", dur=0.1):
+    return {"type": "span", "kind": kind, "name": name, "span": span_id,
+            "parent": parent, "trial": 0, "t_wall": 0.0, "dur_s": dur,
+            "tags": {}}
+
+
+class TestEventValidation:
+    def test_valid_stream(self):
+        events = [
+            {"type": "meta", "schema": 1, "run": "demo"},
+            _span(1, kind="run", name="run"),
+            _span(2, parent=1),
+            {"type": "gauge", "name": "x", "value": 1.0, "trial": 0,
+             "tags": {}},
+        ]
+        assert validate_events(events) == []
+
+    def test_unknown_type_flagged(self):
+        assert validate_events([{"type": "bogus"}])
+
+    def test_missing_span_field_flagged(self):
+        bad = _span(1)
+        del bad["dur_s"]
+        assert any("dur_s" in p for p in validate_events([bad]))
+
+    def test_duplicate_span_id_flagged(self):
+        assert any("duplicate" in p
+                   for p in validate_events([_span(1), _span(1)]))
+
+    def test_dangling_parent_flagged(self):
+        assert any("references no span" in p
+                   for p in validate_events([_span(2, parent=99)]))
+
+    def test_parent_closing_after_child_is_valid(self):
+        # children are emitted before their parents (exit order)
+        assert validate_events([_span(2, parent=1), _span(1)]) == []
+
+    def test_negative_duration_flagged(self):
+        assert any("dur_s" in p
+                   for p in validate_events([_span(1, dur=-1.0)]))
+
+    def test_wrong_meta_schema_flagged(self):
+        assert validate_events([{"type": "meta", "schema": 99}])
+
+    def test_non_numeric_metric_flagged(self):
+        bad = {"type": "gauge", "name": "x", "value": "high", "trial": 0,
+               "tags": {}}
+        assert any("number" in p for p in validate_events([bad]))
+
+
+class TestTracedRunValidates:
+    def test_real_event_log_is_schema_clean(self, traced_run):
+        run_dir, _ = traced_run
+        assert validate_events_file(run_dir) == []
+        assert validate_events(read_events(run_dir)) == []
+
+
+class TestBenchValidation:
+    def test_committed_bench_files_validate(self):
+        bench_files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert bench_files, "expected committed BENCH_*.json files"
+        for path in bench_files:
+            assert validate_path(path) == [], f"{path} failed validation"
+
+    def test_bad_bench_payload_flagged(self):
+        assert validate_bench({"schema": 99, "runs": [{}]})
+        assert validate_bench({"schema": 1, "runs": "nope"})
+
+    def test_check_schema_script_passes(self):
+        import subprocess, sys
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts/check_schema.py")],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_check_schema_script_fails_on_bad_file(self, tmp_path):
+        import subprocess, sys
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": 99, "runs": []}))
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts/check_schema.py"),
+             str(bad)],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout

@@ -46,3 +46,58 @@ class TestWorkerCountInvariance:
             assert trial.wall_time_s is not None and trial.wall_time_s >= 0
             assert set(trial.phase_times) == {"train", "ptq", "qaft", "eval"}
             assert all(v >= 0 for v in trial.phase_times.values())
+
+    def test_phase_times_sum_to_wall_time(self, serial_run):
+        # timer hygiene: phases are span durations and the wall time is the
+        # enclosing trial span, so the parts account for the whole (up to
+        # snapshot/bookkeeping slack between spans)
+        _, _, serial = serial_run
+        for trial in serial.trials:
+            phase_sum = sum(trial.phase_times.values())
+            slack = 0.1 * trial.wall_time_s + 0.05
+            assert abs(trial.wall_time_s - phase_sum) <= slack
+            assert trial.train_seconds == pytest.approx(
+                trial.phase_times["train"])
+
+
+class TestTraceInvariance:
+    """--trace must never change results: instrumentation reads clocks and
+    values, never the run's random generators."""
+
+    def test_traced_serial_identical(self, serial_run, tmp_path):
+        from repro.obs.trace import RunTracer, read_events
+        config, dataset, serial = serial_run
+        with RunTracer(tmp_path / "run") as tracer:
+            traced = BOMPNAS(config, dataset).run(
+                final_training=False, workers=1, tracer=tracer)
+        assert [t.genome for t in traced.trials] == \
+            [t.genome for t in serial.trials]
+        assert [t.score for t in traced.trials] == \
+            [t.score for t in serial.trials]
+        assert [t.accuracy for t in traced.trials] == \
+            [t.accuracy for t in serial.trials]
+        assert [t.size_bits for t in traced.trials] == \
+            [t.size_bits for t in serial.trials]
+        events = read_events(tmp_path / "run")
+        trial_spans = [e for e in events
+                       if e["type"] == "span" and e["kind"] == "trial"]
+        assert len(trial_spans) == len(serial.trials)
+
+    def test_traced_parallel_identical(self, serial_run, tmp_path):
+        from repro.obs.trace import RunTracer, read_events
+        config, dataset, serial = serial_run
+        with RunTracer(tmp_path / "run2") as tracer:
+            traced = BOMPNAS(config, dataset).run(
+                final_training=False, workers=2, tracer=tracer)
+        assert [t.score for t in traced.trials] == \
+            [t.score for t in serial.trials]
+        assert [t.accuracy for t in traced.trials] == \
+            [t.accuracy for t in serial.trials]
+        # worker events were shipped back and merged into one valid stream
+        from repro.obs.schema import validate_events
+        events = read_events(tmp_path / "run2")
+        assert validate_events(events) == []
+        trial_spans = [e for e in events
+                       if e["type"] == "span" and e["kind"] == "trial"]
+        assert sorted(e["trial"] for e in trial_spans) == \
+            [t.index for t in serial.trials]
