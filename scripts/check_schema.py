@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Validate observability artifacts against their schemas.
 
-Checks run-directory JSONL event logs (``events.jsonl``) and benchmark
-files (``BENCH_*.json``) with the validators in :mod:`repro.obs.schema`.
+Checks run-directory JSONL event logs (``events.jsonl``), benchmark files
+(``BENCH_*.json``), and search checkpoints (``checkpoint.json``) with the
+validators dispatched by :mod:`repro.obs.schema`.
 
 Usage::
 
@@ -33,6 +34,7 @@ def default_targets() -> list:
     runs_dir = REPO_ROOT / "runs"
     if runs_dir.is_dir():
         targets.extend(sorted(runs_dir.glob(f"*/{EVENTS_FILENAME}")))
+        targets.extend(sorted(runs_dir.glob("*/checkpoint.json")))
     return targets
 
 

@@ -14,6 +14,7 @@ and ``mutate_fn``.
 
 from __future__ import annotations
 
+import json
 from typing import Callable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -124,6 +125,35 @@ class BayesianOptimizer:
         self._scores.append(float(score))
         self._encodings.append(encoding)
         self._seen.add(genome.as_key())
+
+    # -- checkpoint state --------------------------------------------------
+    def state_dict(self) -> dict:
+        """The optimizer's non-replayable state, JSON-serializable.
+
+        Observations are *not* included: replaying the recorded trial
+        history through :meth:`tell` reconstructs the GP training data,
+        encodings, and dedup set exactly.  What cannot be replayed is the
+        RNG (consumed by ``ask``'s sampling/mutation, not ``tell``) and
+        the seed-anchor flag — those are captured here.  Must be called at
+        a batch boundary (no pending constant-liar fantasies).
+        """
+        if self._fantasy_count:
+            raise RuntimeError(
+                "cannot snapshot optimizer state mid-batch: "
+                f"{self._fantasy_count} constant-liar fantasies pending")
+        state = self.rng.bit_generator.state
+        return {"seed_given": self._seed_given,
+                "rng_state": json.loads(json.dumps(state))}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (after replaying tells).
+
+        With the recorded observations replayed through :meth:`tell` and
+        this state restored, the next :meth:`ask_batch` proposes exactly
+        the candidates an uninterrupted run would have proposed.
+        """
+        self._seed_given = bool(state["seed_given"])
+        self.rng.bit_generator.state = state["rng_state"]
 
     # -- constant-liar fantasies (batched proposal) -----------------------
     def _add_fantasy(self, genome: MixedPrecisionGenome,

@@ -69,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "schedule, unlike --workers)")
     search.add_argument("--no-final-training", action="store_true",
                         help="skip final training of the Pareto set")
+    search.add_argument("--checkpoint-dir", default=None,
+                        help="atomically persist the search state to "
+                             "<dir>/checkpoint.json after every BO batch; "
+                             "an interrupted run restarts with --resume")
+    search.add_argument("--resume", default=None, metavar="RUN_DIR",
+                        help="resume an interrupted search from its "
+                             "checkpoint directory; the config and dataset "
+                             "are restored from the checkpoint and the "
+                             "resumed run is bit-identical to an "
+                             "uninterrupted one")
+    search.add_argument("--trial-timeout", type=float, default=None,
+                        help="per-trial wall-clock timeout in seconds for "
+                             "pooled evaluation (<= 0 disables; default "
+                             "BOMP_TRIAL_TIMEOUT env or 3600)")
     search.add_argument("--out", default=None,
                         help="write the result JSON here")
     search.add_argument("--trace", action="store_true",
@@ -116,24 +130,55 @@ def default_trace_dir(config: SearchConfig) -> str:
             f"{config.scale.name}-seed{config.seed}")
 
 
+def _resumed_search_inputs(args: argparse.Namespace):
+    """(config, dataset) restored from the ``--resume`` checkpoint.
+
+    The checkpoint is the source of truth for a resumed run: flags like
+    ``--mode`` or ``--seed`` are ignored so the resumed search cannot
+    silently diverge from the interrupted one.
+    """
+    from .data.synthetic import make_synthetic_dataset
+    from .nas.results import config_from_dict
+    from .resilience.checkpoint import load_checkpoint
+    checkpoint = load_checkpoint(args.resume)
+    config = config_from_dict(checkpoint.config)
+    if checkpoint.dataset_spec is None:
+        raise SystemExit(
+            f"checkpoint at {args.resume} records no dataset spec; "
+            "cannot reconstruct the dataset for a resumed run")
+    dataset = make_synthetic_dataset(**checkpoint.dataset_spec)
+    return config, dataset
+
+
 def cmd_search(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
-    ref_size = args.ref_size if args.ref_size is not None else \
-        REF_SIZE[args.dataset]
-    config = SearchConfig(
-        dataset=args.dataset, mode=get_mode(args.mode), scale=scale,
-        scalarization=ScalarizationConfig(ref_accuracy=args.ref_acc,
-                                          ref_model_size=ref_size),
-        seed=args.seed, policies_per_trial=args.policies_per_trial)
-    dataset = load_dataset(args.dataset, n_train=scale.n_train,
-                           n_test=scale.n_test,
-                           image_size=scale.image_size, seed=args.seed)
+    if args.resume:
+        config, dataset = _resumed_search_inputs(args)
+        scale = config.scale
+    else:
+        scale = get_scale(args.scale)
+        ref_size = args.ref_size if args.ref_size is not None else \
+            REF_SIZE[args.dataset]
+        config = SearchConfig(
+            dataset=args.dataset, mode=get_mode(args.mode), scale=scale,
+            scalarization=ScalarizationConfig(ref_accuracy=args.ref_acc,
+                                              ref_model_size=ref_size),
+            seed=args.seed, policies_per_trial=args.policies_per_trial)
+        dataset = load_dataset(args.dataset, n_train=scale.n_train,
+                               n_test=scale.n_test,
+                               image_size=scale.image_size, seed=args.seed)
     reporter = ConsoleReporter(quiet=args.quiet)
-    reporter.info(f"running {config.describe()}")
+    verb = "resuming" if args.resume else "running"
+    reporter.info(f"{verb} {config.describe()}")
     progress = None if args.quiet else reporter.trial
 
-    from .parallel import default_workers
+    from .parallel import RetryPolicy, default_workers
     workers = args.workers if args.workers is not None else default_workers()
+    retry_policy = None
+    if args.trial_timeout is not None:
+        import dataclasses
+        timeout = args.trial_timeout if args.trial_timeout > 0 else None
+        retry_policy = dataclasses.replace(RetryPolicy.from_env(),
+                                           trial_timeout_s=timeout)
     nas = BOMPNAS(config, dataset, progress=progress)
     tracer = None
     if args.trace or args.trace_dir:
@@ -143,7 +188,10 @@ def cmd_search(args: argparse.Namespace) -> int:
     try:
         result = nas.run(final_training=not args.no_final_training,
                          workers=workers, batch_size=args.trial_batch,
-                         tracer=tracer)
+                         tracer=tracer,
+                         checkpoint_dir=args.checkpoint_dir,
+                         resume_from=args.resume,
+                         retry_policy=retry_policy, reporter=reporter)
     finally:
         if tracer is not None:
             tracer.close()

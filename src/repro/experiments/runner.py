@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -24,6 +25,7 @@ from ..nas.config import ScalePreset, SearchConfig, get_mode, get_scale
 from ..nas.results import SearchResult
 from ..nas.search import BOMPNAS
 from ..obs.trace import RunTracer
+from ..resilience.checkpoint import CheckpointError
 
 #: paper reference values for the two datasets' scalarization configs
 REF_SIZE = {"cifar10": 8.0, "cifar100": 6.0}
@@ -47,7 +49,8 @@ class ExperimentContext:
                  cache_dir: Optional[Path] = None,
                  use_disk_cache: bool = True,
                  workers: Optional[int] = None,
-                 trace_dir: Optional[Path] = None) -> None:
+                 trace_dir: Optional[Path] = None,
+                 checkpoint_dir: Optional[Path] = None) -> None:
         self.scale: ScalePreset = get_scale(scale_name)
         self.seed = seed
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
@@ -63,6 +66,14 @@ class ExperimentContext:
             env_dir = os.environ.get("BOMP_TRACE_DIR")
             trace_dir = Path(env_dir) if env_dir else None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        # Checkpointing, like tracing, is an execution detail: it never
+        # enters cache keys, and a resumed search is bit-identical to an
+        # uninterrupted one, so cached results stay valid either way.
+        if checkpoint_dir is None:
+            env_dir = os.environ.get("BOMP_CHECKPOINT_DIR")
+            checkpoint_dir = Path(env_dir) if env_dir else None
+        self.checkpoint_dir = (Path(checkpoint_dir)
+                               if checkpoint_dir is not None else None)
         self._datasets: Dict[str, Dataset] = {}
         self._results: Dict[str, SearchResult] = {}
 
@@ -164,15 +175,42 @@ class ExperimentContext:
             if richer is not None:
                 return richer
         tracer = self._make_tracer("bomp", config)
+        run_dir = self._checkpoint_run_dir("bomp", config)
+        resume_from = None
+        if run_dir is not None:
+            from ..resilience.checkpoint import has_checkpoint
+            if has_checkpoint(run_dir):
+                resume_from = run_dir
         try:
-            result = BOMPNAS(config, self.dataset(dataset)).run(
-                final_training=final_training, workers=self.workers,
-                tracer=tracer)
+            try:
+                result = BOMPNAS(config, self.dataset(dataset)).run(
+                    final_training=final_training, workers=self.workers,
+                    tracer=tracer, checkpoint_dir=run_dir,
+                    resume_from=resume_from)
+            except CheckpointError as error:
+                if resume_from is None:
+                    raise
+                # stale/incompatible checkpoint (e.g. the scale changed
+                # between invocations): fall back to a fresh run
+                warnings.warn(f"ignoring checkpoint at {resume_from}: "
+                              f"{error}", RuntimeWarning)
+                result = BOMPNAS(config, self.dataset(dataset)).run(
+                    final_training=final_training, workers=self.workers,
+                    tracer=tracer, checkpoint_dir=run_dir)
         finally:
             if tracer is not None:
                 tracer.close()
         self._store(key, result)
         return result
+
+    def _checkpoint_run_dir(self, kind: str,
+                            config: SearchConfig) -> Optional[Path]:
+        """Per-search checkpoint directory under ``checkpoint_dir``."""
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / (
+            f"{kind}-{config.mode.name}-{config.dataset}-"
+            f"{config.scale.name}-seed{config.seed}")
 
     def _make_tracer(self, kind: str,
                      config: SearchConfig) -> Optional[RunTracer]:

@@ -12,6 +12,46 @@ from .config import (SCALE_PRESETS, ScalarizationConfig, ScalePreset,
 from .trial import FinalModelResult, TrialResult
 
 
+def config_to_dict(config: SearchConfig) -> Dict:
+    """Portable representation of a :class:`SearchConfig`.
+
+    Shared by :class:`SearchResult` persistence and the resilience layer's
+    checkpoints, so the two on-disk formats can never drift apart.
+    """
+    return {
+        "dataset": config.dataset,
+        "mode": config.mode.name,
+        "scale": config.scale.name,
+        "scale_params": asdict(config.scale),
+        "ref_accuracy": config.scalarization.ref_accuracy,
+        "ref_model_size": config.scalarization.ref_model_size,
+        "seed": config.seed,
+        "policies_per_trial": config.policies_per_trial,
+        "kernel": config.kernel,
+        "acquisition": config.acquisition,
+        "observer": config.observer,
+    }
+
+
+def config_from_dict(raw: Dict) -> SearchConfig:
+    """Inverse of :func:`config_to_dict` (tolerates pre-PR-1 payloads)."""
+    if "scale_params" in raw:
+        scale = ScalePreset(**raw["scale_params"])
+    else:
+        scale = SCALE_PRESETS[raw["scale"]]
+    return SearchConfig(
+        dataset=raw["dataset"], mode=get_mode(raw["mode"]),
+        scale=scale,
+        scalarization=ScalarizationConfig(
+            ref_accuracy=raw["ref_accuracy"],
+            ref_model_size=raw["ref_model_size"]),
+        seed=raw["seed"],
+        policies_per_trial=raw.get("policies_per_trial", 1),
+        kernel=raw.get("kernel", "matern52"),
+        acquisition=raw.get("acquisition", "ucb"),
+        observer=raw.get("observer", "minmax"))
+
+
 @dataclass
 class SearchResult:
     """Everything a finished search produced."""
@@ -87,43 +127,15 @@ class SearchResult:
     # -- persistence ----------------------------------------------------------
     def as_dict(self) -> Dict:
         return {
-            "config": {
-                "dataset": self.config.dataset,
-                "mode": self.config.mode.name,
-                "scale": self.config.scale.name,
-                "scale_params": asdict(self.config.scale),
-                "ref_accuracy": self.config.scalarization.ref_accuracy,
-                "ref_model_size": self.config.scalarization.ref_model_size,
-                "seed": self.config.seed,
-                "policies_per_trial": self.config.policies_per_trial,
-                "kernel": self.config.kernel,
-                "acquisition": self.config.acquisition,
-                "observer": self.config.observer,
-            },
+            "config": config_to_dict(self.config),
             "trials": [t.as_dict() for t in self.trials],
             "final_models": [m.as_dict() for m in self.final_models],
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SearchResult":
-        raw = data["config"]
-        if "scale_params" in raw:
-            scale = ScalePreset(**raw["scale_params"])
-        else:
-            scale = SCALE_PRESETS[raw["scale"]]
-        config = SearchConfig(
-            dataset=raw["dataset"], mode=get_mode(raw["mode"]),
-            scale=scale,
-            scalarization=ScalarizationConfig(
-                ref_accuracy=raw["ref_accuracy"],
-                ref_model_size=raw["ref_model_size"]),
-            seed=raw["seed"],
-            policies_per_trial=raw.get("policies_per_trial", 1),
-            kernel=raw.get("kernel", "matern52"),
-            acquisition=raw.get("acquisition", "ucb"),
-            observer=raw.get("observer", "minmax"))
         return cls(
-            config=config,
+            config=config_from_dict(data["config"]),
             trials=[TrialResult.from_dict(t) for t in data["trials"]],
             final_models=[FinalModelResult.from_dict(m)
                           for m in data["final_models"]])

@@ -39,9 +39,13 @@ from ..nn.network import Sequential
 from ..nn.optim import SGD, Adam, CosineDecayLR, Optimizer
 from ..nn.serialization import load_state_dict, state_dict
 from ..nn.trainer import Trainer
+from ..obs.console import ConsoleReporter
 from ..obs.trace import RunTracer, get_recorder, use_recorder
-from ..parallel.engine import DEFAULT_TRIAL_BATCH, TrialEngine, TrialSpec
+from ..parallel.engine import (DEFAULT_TRIAL_BATCH, RetryPolicy, TrialEngine,
+                               TrialSpec)
 from ..parallel.seeding import trial_seed
+from ..resilience.checkpoint import (CheckpointError, SearchCheckpoint,
+                                     load_checkpoint, save_checkpoint)
 from ..quant.apply import apply_policy, calibrate, remove_quantizers
 from ..quant.policy import QuantizationPolicy
 from ..quant.qaft import quantization_aware_finetune
@@ -51,7 +55,7 @@ from ..space.genome import MixedPrecisionGenome
 from ..space.space import SearchSpace
 from .config import SearchConfig
 from .cost import CostModel
-from .results import SearchResult
+from .results import SearchResult, config_to_dict
 from .trial import TrialResult
 
 ProgressFn = Callable[[TrialResult], None]
@@ -275,10 +279,57 @@ class BOMPNAS:
             trial_span.tags.update(results=len(results))
         return results
 
+    # -- checkpoint plumbing -------------------------------------------------
+    def _restore(self, resume_from, optimizer: BayesianOptimizer,
+                 batch_size: Optional[int]) -> tuple:
+        """Load a checkpoint and rebuild the mid-search state from it.
+
+        Returns ``(trials, batches_done, proposal_batch)``.  The GP
+        training data is replayed through ``tell`` (deterministic given
+        the recorded genomes/scores); the RNG stream and seed-anchor flag
+        are restored from the snapshot, so the next ``ask_batch`` proposes
+        exactly what the uninterrupted run would have proposed.
+        """
+        checkpoint = load_checkpoint(resume_from)
+        expected = config_to_dict(self.config)
+        if checkpoint.config != expected:
+            mismatched = sorted(
+                key for key in set(expected) | set(checkpoint.config)
+                if expected.get(key) != checkpoint.config.get(key))
+            raise CheckpointError(
+                f"checkpoint at {resume_from} was written by a different "
+                f"run configuration (mismatched: {', '.join(mismatched)})")
+        if batch_size is not None and batch_size != checkpoint.batch_size:
+            raise CheckpointError(
+                f"checkpoint was written with batch_size="
+                f"{checkpoint.batch_size}, cannot resume with "
+                f"batch_size={batch_size} (the proposal schedule is part "
+                "of the search result)")
+        trials = [TrialResult.from_dict(t) for t in checkpoint.trials]
+        for trial in trials:
+            optimizer.tell(trial.genome, trial.score)
+        optimizer.restore_state(checkpoint.optimizer)
+        return trials, checkpoint.batch_index, checkpoint.batch_size
+
+    def _save_checkpoint(self, checkpoint_dir,
+                         optimizer: BayesianOptimizer,
+                         trials: List[TrialResult], proposal_batch: int,
+                         total: int, batches_done: int) -> None:
+        save_checkpoint(checkpoint_dir, SearchCheckpoint(
+            config=config_to_dict(self.config),
+            dataset_spec=self.dataset.spec,
+            batch_size=proposal_batch, total_trials=total,
+            batch_index=batches_done,
+            trials=[t.as_dict() for t in trials],
+            optimizer=optimizer.state_dict()))
+
     # -- the loop -------------------------------------------------------------
     def run(self, final_training: bool = True, workers: int = 1,
             batch_size: Optional[int] = None,
-            tracer: Optional[RunTracer] = None) -> SearchResult:
+            tracer: Optional[RunTracer] = None,
+            checkpoint_dir=None, resume_from=None,
+            retry_policy: Optional[RetryPolicy] = None,
+            reporter: Optional[ConsoleReporter] = None) -> SearchResult:
         """Run the search; optionally finally train the Pareto set.
 
         Args:
@@ -293,26 +344,51 @@ class BOMPNAS:
                 given, its recorder is installed for the duration of the
                 run and the full event stream goes to its run directory.
                 Tracing never changes the search result.
+            checkpoint_dir: when given, the full search state is
+                atomically persisted to ``<checkpoint_dir>/checkpoint.json``
+                after every BO batch (and once more after final training
+                completes nothing new — the last batch checkpoint already
+                covers the trial history).
+            resume_from: directory (or checkpoint path) of an interrupted
+                run to continue.  The resumed search is bit-identical to
+                an uninterrupted one; the config must match and
+                ``batch_size``, if given, must equal the checkpointed one.
+            retry_policy: worker fault-handling policy, forwarded to the
+                :class:`~repro.parallel.engine.TrialEngine` (default:
+                environment-derived).
+            reporter: console reporter for engine recovery diagnostics.
         """
         from .final_training import train_final_models  # cycle guard
         recorder = tracer.recorder if tracer is not None else get_recorder()
         with use_recorder(recorder):
             optimizer = self.make_optimizer()
             per_candidate = self.config.policies_per_trial
-            proposal_batch = max(1, batch_size if batch_size is not None
-                                 else DEFAULT_TRIAL_BATCH)
             total = self.config.scale.trials
             trials: List[TrialResult] = []
+            batches_done = 0
+            if resume_from is not None:
+                trials, batches_done, resumed_batch = self._restore(
+                    resume_from, optimizer, batch_size)
+                proposal_batch = resumed_batch
+                if checkpoint_dir is None:
+                    checkpoint_dir = resume_from
+            else:
+                proposal_batch = max(1, batch_size if batch_size is not None
+                                     else DEFAULT_TRIAL_BATCH)
             engine = TrialEngine(self.config, self.dataset, workers=workers,
                                  cost_model=self.cost_model,
-                                 space=self.space, evaluator=self)
+                                 space=self.space, evaluator=self,
+                                 retry_policy=retry_policy,
+                                 reporter=reporter)
             if recorder.enabled:
                 recorder.meta(run=self.config.describe(),
                               dataset=self.config.dataset,
                               mode=self.config.mode.name,
                               scale=self.config.scale.name,
                               seed=self.config.seed,
-                              workers=workers, trials=total)
+                              workers=workers, trials=total,
+                              resumed_at_trial=(len(trials)
+                                                if resume_from else None))
             with recorder.span("run", kind="run",
                                mode=self.config.mode.name,
                                dataset=self.config.dataset,
@@ -336,6 +412,11 @@ class BOMPNAS:
                                 trials.append(result)
                                 if self.progress is not None:
                                     self.progress(result)
+                        batches_done += 1
+                        if checkpoint_dir is not None:
+                            self._save_checkpoint(
+                                checkpoint_dir, optimizer, trials,
+                                proposal_batch, total, batches_done)
                 result = SearchResult(config=self.config, trials=trials)
                 if final_training:
                     with recorder.span("final_training", kind="phase"):

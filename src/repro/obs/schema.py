@@ -142,8 +142,12 @@ def validate_bench_file(path: Union[str, Path]) -> List[str]:
 
 
 def validate_path(path: Union[str, Path]) -> List[str]:
-    """Dispatch on path shape: bench JSON, event log, or run directory."""
+    """Dispatch on path shape: bench JSON, checkpoint, event log, or run
+    directory."""
     path = Path(path)
     if path.is_file() and path.name.startswith("BENCH"):
         return validate_bench_file(path)
+    if path.is_file() and path.name == "checkpoint.json":
+        from ..resilience.checkpoint import validate_checkpoint_file
+        return validate_checkpoint_file(path)
     return validate_events_file(path)

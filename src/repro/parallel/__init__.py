@@ -22,13 +22,14 @@ parallel, and results are told back in proposal order.
 """
 
 from .bench import append_bench_record, default_bench_path, measure_speedup
-from .engine import (DEFAULT_TRIAL_BATCH, TrialEngine, TrialEvaluationError,
-                     TrialOutcome, TrialSpec, default_workers)
+from .engine import (DEFAULT_TRIAL_BATCH, RetryPolicy, TrialEngine,
+                     TrialEvaluationError, TrialOutcome, TrialSpec,
+                     default_workers)
 from .seeding import trial_rng, trial_seed
 
 __all__ = [
     "TrialEngine", "TrialSpec", "TrialOutcome", "TrialEvaluationError",
-    "DEFAULT_TRIAL_BATCH", "default_workers",
+    "RetryPolicy", "DEFAULT_TRIAL_BATCH", "default_workers",
     "trial_seed", "trial_rng",
     "measure_speedup", "append_bench_record", "default_bench_path",
 ]

@@ -1,32 +1,48 @@
-"""Process-pool trial evaluation with a picklable worker protocol.
+"""Fault-tolerant process-pool trial evaluation with a picklable protocol.
 
 The engine maps :class:`TrialSpec`\\ s (genome + trial index + seed) to
 lists of :class:`~repro.nas.trial.TrialResult`\\ s, either in-process
-(``workers <= 1``) or on a ``multiprocessing`` pool.  Each worker builds
-its evaluation state (dataset, search space, evaluator) exactly once —
-from a small regeneration spec when the dataset carries one, so the
-training arrays are never pickled per task — and caches it in module
-globals for the lifetime of the pool.
+(``workers <= 1``) or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+Each worker builds its evaluation state (dataset, search space, evaluator)
+exactly once — from a small regeneration spec when the dataset carries
+one, so the training arrays are never pickled per task — and caches it in
+module globals for the lifetime of the pool.
 
 Because trials are deterministically seeded (:mod:`repro.parallel.seeding`)
 and results are consumed in spec order, the engine's output is identical
 regardless of worker count, completion order, or whether the pool could be
-created at all: on platforms without working multiprocessing the engine
-degrades to serial in-process evaluation with a warning.
+created at all — and, since PR 4, regardless of *worker failures*: a
+:class:`RetryPolicy` governs per-trial timeouts, bounded retry with
+exponential backoff on worker errors and corrupt outcomes, pool respawn
+after crashes (``BrokenProcessPool``), and graceful degradation to serial
+in-process evaluation when the pool repeatedly dies.  Every recovery
+action is surfaced through :mod:`repro.obs` counters (``pool.retries``,
+``pool.timeout_kills``, ``pool.respawns``, ``pool.degraded``) and the
+console reporter.
+
+The worker path hosts the deterministic fault-injection hooks of
+:mod:`repro.resilience.faults` (``BOMP_FAULTS``), which is how the tier-1
+test suite exercises each failure mode on demand.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 import warnings
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..data.datasets import Dataset
+from ..obs.console import ConsoleReporter
 from ..obs.trace import TraceRecorder, get_recorder, use_recorder
+from ..resilience.faults import corrupt_outcome_due, inject_trial_fault
 from ..space.genome import MixedPrecisionGenome
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,6 +63,11 @@ DEFAULT_TRIAL_BATCH = 4
 #: dataset + one model).
 MAX_DEFAULT_WORKERS = 8
 
+#: default per-trial wall-clock budget before the pool is presumed hung.
+#: Generous — even paper-scale trials finish well inside an hour — so it
+#: only ever fires on a genuinely wedged worker.
+DEFAULT_TRIAL_TIMEOUT_S = 3600.0
+
 
 def default_workers() -> int:
     """Default worker count: available CPUs, capped at 8."""
@@ -59,6 +80,66 @@ def default_workers() -> int:
 
 class TrialEvaluationError(RuntimeError):
     """A worker failed to evaluate a trial; carries the worker traceback."""
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return float(value) if value else default
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine reacts to worker faults.
+
+    Args:
+        trial_timeout_s: per-trial wall-clock budget on the pool; a trial
+            exceeding it is presumed hung, the pool is killed and respawned,
+            and the trial retried.  ``None`` disables timeouts.  The serial
+            path never times out (there is no second process to recover in).
+        max_retries: bounded per-trial retries of *failed* outcomes (worker
+            exceptions, corrupt results).  Exhaustion raises
+            :class:`TrialEvaluationError` — a deterministic bug should fail
+            the run, not loop forever.
+        backoff_s: base of the exponential backoff slept before a retry or
+            pool respawn (``backoff_s * 2**(attempt-1)``).
+        max_pool_respawns: pool deaths (crash, timeout kill) tolerated over
+            the engine's lifetime before it degrades to serial in-process
+            evaluation for the remainder of the run.
+    """
+
+    trial_timeout_s: Optional[float] = DEFAULT_TRIAL_TIMEOUT_S
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout_s is not None and self.trial_timeout_s <= 0:
+            raise ValueError("trial_timeout_s must be positive or None")
+        if self.max_retries < 0 or self.max_pool_respawns < 0:
+            raise ValueError("retry/respawn budgets must be non-negative")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy from ``BOMP_TRIAL_TIMEOUT`` / ``BOMP_MAX_RETRIES`` /
+        ``BOMP_RETRY_BACKOFF`` / ``BOMP_MAX_POOL_RESPAWNS`` (<= 0 timeout
+        disables it)."""
+        timeout: Optional[float] = _env_float("BOMP_TRIAL_TIMEOUT",
+                                              DEFAULT_TRIAL_TIMEOUT_S)
+        if timeout is not None and timeout <= 0:
+            timeout = None
+        return cls(
+            trial_timeout_s=timeout,
+            max_retries=_env_int("BOMP_MAX_RETRIES", cls.max_retries),
+            backoff_s=_env_float("BOMP_RETRY_BACKOFF", cls.backoff_s),
+            max_pool_respawns=_env_int("BOMP_MAX_POOL_RESPAWNS",
+                                       cls.max_pool_respawns))
 
 
 @dataclass(frozen=True)
@@ -148,16 +229,53 @@ def _evaluate_spec(evaluator: "BOMPNAS", spec: TrialSpec) -> TrialOutcome:
 
 
 def _run_trial(spec: TrialSpec) -> TrialOutcome:
-    """Worker task: evaluate one spec with the cached evaluator."""
+    """Worker task: evaluate one spec with the cached evaluator.
+
+    Hosts the deterministic fault-injection hooks: an injected ``crash``
+    never returns, a ``hang`` sleeps into the engine's timeout, an
+    ``error`` ships back as a normal worker-error outcome, and a
+    ``corrupt`` fault replaces the real outcome with a structurally
+    invalid one the engine must reject.
+    """
     try:
+        inject_trial_fault(spec.index)
         evaluator = _WORKER_STATE.get("evaluator")
         if evaluator is None:
             evaluator = _build_evaluator(_WORKER_STATE["payload"])
             _WORKER_STATE["evaluator"] = evaluator
-        return _evaluate_spec(evaluator, spec)
+        outcome = _evaluate_spec(evaluator, spec)
+        if corrupt_outcome_due(spec.index):
+            return TrialOutcome(index=spec.index, results=None, error=None)
+        return outcome
     except Exception:  # noqa: BLE001 — ship the full traceback back
         return TrialOutcome(index=spec.index,
                             error=traceback.format_exc())
+
+
+def _outcome_problem(spec: TrialSpec,
+                     outcome: Any) -> Optional[str]:
+    """Why ``outcome`` is unusable for ``spec`` (``None`` = it is fine).
+
+    Catches worker errors *and* corrupt outcomes: wrong type, mismatched
+    index, missing results, non-finite objective values.
+    """
+    if not isinstance(outcome, TrialOutcome):
+        return (f"worker returned {type(outcome).__name__}, "
+                "not a TrialOutcome")
+    if outcome.error is not None:
+        return outcome.error
+    if outcome.index != spec.index:
+        return (f"corrupt outcome: index {outcome.index} != "
+                f"spec index {spec.index}")
+    if not outcome.results:
+        return "corrupt outcome: carries neither results nor an error"
+    for result in outcome.results:
+        if not (math.isfinite(result.score)
+                and math.isfinite(result.accuracy)):
+            return (f"corrupt outcome: non-finite objectives "
+                    f"(score={result.score!r}, "
+                    f"accuracy={result.accuracy!r})")
+    return None
 
 
 def _pick_start_method() -> str:
@@ -184,6 +302,11 @@ class TrialEngine:
         cost_model / space: optional evaluator collaborators, forwarded.
         evaluator: an existing in-process evaluator to reuse on the serial
             path (avoids rebuilding the search space).
+        retry_policy: fault-handling policy (default: from the environment,
+            see :meth:`RetryPolicy.from_env`).
+        reporter: console reporter for recovery/diagnostic lines (default:
+            a stderr reporter, so library users see pool failures without
+            polluting stdout results).
 
     Use as a context manager; the pool (if any) is torn down on exit.
     """
@@ -192,18 +315,26 @@ class TrialEngine:
                  workers: int = 1,
                  cost_model: Optional["CostModel"] = None,
                  space: Optional["SearchSpace"] = None,
-                 evaluator: Optional["BOMPNAS"] = None) -> None:
+                 evaluator: Optional["BOMPNAS"] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 reporter: Optional[ConsoleReporter] = None) -> None:
         self.config = config
         self.dataset = dataset
         self.workers = max(1, int(workers))
         self.cost_model = cost_model
         self.space = space
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env())
+        self.reporter = (reporter if reporter is not None
+                         else ConsoleReporter(stream=sys.stderr))
         self._evaluator = evaluator
-        self._pool = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_deaths = 0
+        self._degraded = False
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "TrialEngine":
-        if self.workers > 1:
+        if self.workers > 1 and not self._degraded:
             self._pool = self._try_start_pool()
         return self
 
@@ -211,17 +342,19 @@ class TrialEngine:
         self.close()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._kill_pool()
 
     @property
     def parallel(self) -> bool:
         """True while a live process pool backs evaluation."""
         return self._pool is not None
 
-    def _try_start_pool(self):
+    @property
+    def degraded(self) -> bool:
+        """True once repeated pool deaths forced permanent serial mode."""
+        return self._degraded
+
+    def _try_start_pool(self) -> Optional[ProcessPoolExecutor]:
         payload = _WorkerPayload(
             config=self.config,
             dataset=None if self.dataset.spec is not None else self.dataset,
@@ -229,14 +362,70 @@ class TrialEngine:
             cost_model=self.cost_model, space=self.space)
         try:
             context = multiprocessing.get_context(_pick_start_method())
-            return context.Pool(self.workers, initializer=_init_worker,
-                                initargs=(payload,))
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_init_worker, initargs=(payload,))
         except Exception as exc:  # noqa: BLE001 — any failure → serial
+            # surface the reason instead of swallowing it: console line,
+            # obs counter (tagged with the cause), and the warning existing
+            # callers already catch
+            reason = f"{type(exc).__name__}: {exc}"
+            self.reporter.info(
+                f"process pool unavailable ({reason}); falling back to "
+                "in-process serial evaluation")
+            get_recorder().counter("pool.start_failures", reason=reason)
             warnings.warn(
                 f"multiprocessing unavailable ({exc!r}); "
                 f"falling back to in-process serial evaluation",
                 RuntimeWarning, stacklevel=2)
             return None
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard (workers may be hung or already dead)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — already reaped
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — executor already broken
+            pass
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover — SIGTERM-immune
+                try:
+                    process.kill()
+                    process.join(timeout=1)
+                except Exception:  # noqa: BLE001
+                    pass
+
+    def _pool_failed(self, reason: str) -> None:
+        """Kill the pool and either respawn it or degrade to serial."""
+        recorder = get_recorder()
+        self._kill_pool()
+        self._pool_deaths += 1
+        if self._pool_deaths > self.retry_policy.max_pool_respawns:
+            self._degraded = True
+            recorder.counter("pool.degraded")
+            message = (f"process pool died {self._pool_deaths} times "
+                       f"(last: {reason}); degrading to in-process serial "
+                       "evaluation for the rest of the run")
+            self.reporter.info(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+            return
+        recorder.counter("pool.respawns")
+        self.reporter.info(
+            f"process pool failure ({reason}); respawning "
+            f"(death {self._pool_deaths}/"
+            f"{self.retry_policy.max_pool_respawns} tolerated)")
+        time.sleep(self.retry_policy.backoff_s
+                   * (2 ** (self._pool_deaths - 1)))
+        self._pool = self._try_start_pool()
 
     # -- evaluation --------------------------------------------------------
     def _serial_evaluator(self) -> "BOMPNAS":
@@ -250,27 +439,26 @@ class TrialEngine:
     def evaluate(self, specs: List[TrialSpec]) -> List[List["TrialResult"]]:
         """Evaluate specs, returning result lists in spec order.
 
-        Worker failures raise :class:`TrialEvaluationError` with the worker
-        traceback; a broken pool (crashed worker, pickling failure) falls
-        back to serial evaluation of the same specs, preserving results.
+        Worker faults are handled per :attr:`retry_policy`: failed or
+        corrupt outcomes are retried with backoff (exhaustion raises
+        :class:`TrialEvaluationError` with the worker traceback), hung
+        trials are timed out and the pool respawned, and a repeatedly
+        dying pool degrades to serial evaluation of the remaining specs —
+        results are bit-identical in every case because trials are
+        deterministically seeded.
         """
         if not specs:
             return []
         submit_wall = time.time()
         batch_start = time.perf_counter()
-        pooled = self._pool is not None
+        outcomes_by_index: Dict[int, TrialOutcome] = {}
         if self._pool is not None:
-            try:
-                outcomes = self._pool.map(_run_trial, specs, chunksize=1)
-            except Exception as exc:  # noqa: BLE001 — pool died mid-run
-                warnings.warn(
-                    f"process pool failed ({exc!r}); finishing serially",
-                    RuntimeWarning, stacklevel=2)
-                self.close()
-                pooled = False
-                outcomes = self._evaluate_serial(specs)
-        else:
-            outcomes = self._evaluate_serial(specs)
+            self._evaluate_pooled(specs, outcomes_by_index)
+        remaining = [s for s in specs if s.index not in outcomes_by_index]
+        if remaining:
+            for outcome in self._evaluate_serial(remaining):
+                outcomes_by_index[outcome.index] = outcome
+        outcomes = [outcomes_by_index[spec.index] for spec in specs]
         batch_wall = time.perf_counter() - batch_start
         batches: List[List["TrialResult"]] = []
         recorder = get_recorder()
@@ -281,10 +469,81 @@ class TrialEngine:
             recorder.ingest(outcome.events)
             batches.append(outcome.results)
         if recorder.enabled:
-            self._record_pool_telemetry(outcomes, pooled=pooled,
+            self._record_pool_telemetry(outcomes,
+                                        pooled=self._pool is not None,
                                         batch_wall=batch_wall,
                                         submit_wall=submit_wall)
         return batches
+
+    def _evaluate_pooled(self, specs: List[TrialSpec],
+                         out: Dict[int, TrialOutcome]) -> None:
+        """Run specs on the pool, applying the retry/timeout policy.
+
+        Fills ``out`` with every spec the pool managed to evaluate; specs
+        still missing afterwards (pool degraded away) are the caller's to
+        finish serially.
+        """
+        policy = self.retry_policy
+        recorder = get_recorder()
+        attempts = {spec.index: 0 for spec in specs}
+        pending = list(specs)
+        while pending and self._pool is not None:
+            try:
+                futures = [(spec, self._pool.submit(_run_trial, spec))
+                           for spec in pending]
+            except Exception as exc:  # noqa: BLE001 — broken at submit
+                self._pool_failed(f"submit failed ({exc!r})")
+                continue
+            pool_death: Optional[str] = None
+            unresolved: List[Tuple[TrialSpec, Any]] = []
+            for position, (spec, future) in enumerate(futures):
+                try:
+                    outcome = future.result(timeout=policy.trial_timeout_s)
+                except FuturesTimeout:
+                    recorder.counter("pool.timeout_kills", trial=spec.index)
+                    pool_death = (f"trial {spec.index} produced no result "
+                                  f"within {policy.trial_timeout_s:.0f}s "
+                                  "(presumed hung)")
+                    unresolved = futures[position:]
+                    break
+                except Exception as exc:  # noqa: BLE001 — pool died
+                    recorder.counter("pool.crashes", trial=spec.index)
+                    pool_death = (f"worker crashed evaluating trial "
+                                  f"{spec.index} ({type(exc).__name__})")
+                    unresolved = futures[position:]
+                    break
+                problem = _outcome_problem(spec, outcome)
+                if problem is None:
+                    out[spec.index] = outcome
+                    continue
+                attempts[spec.index] += 1
+                kind = ("error" if isinstance(outcome, TrialOutcome)
+                        and outcome.error is not None else "corrupt")
+                recorder.counter("pool.retries", trial=spec.index,
+                                 reason=kind)
+                if attempts[spec.index] > policy.max_retries:
+                    raise TrialEvaluationError(
+                        f"trial {spec.index} failed after "
+                        f"{attempts[spec.index]} attempts "
+                        f"({policy.max_retries} retries):\n{problem}")
+                self.reporter.info(
+                    f"trial {spec.index}: {kind} outcome; retrying "
+                    f"({attempts[spec.index]}/{policy.max_retries})")
+                time.sleep(policy.backoff_s
+                           * (2 ** (attempts[spec.index] - 1)))
+            if pool_death is not None:
+                # harvest whatever finished before the pool went down —
+                # deterministic seeding makes completed results reusable
+                for spec, future in unresolved:
+                    if spec.index in out:
+                        continue
+                    if future.done() and not future.cancelled() \
+                            and future.exception() is None:
+                        outcome = future.result()
+                        if _outcome_problem(spec, outcome) is None:
+                            out[spec.index] = outcome
+                self._pool_failed(pool_death)
+            pending = [s for s in pending if s.index not in out]
 
     def _record_pool_telemetry(self, outcomes: List[TrialOutcome],
                                pooled: bool, batch_wall: float,

@@ -1,0 +1,38 @@
+"""Fault tolerance for long-running searches: checkpoints + fault injection.
+
+A paper-scale BOMP-NAS search runs for ~75 GPU-hours; this package makes
+such runs survivable instead of all-or-nothing:
+
+- :mod:`repro.resilience.checkpoint` — atomic per-batch search-state
+  persistence (``checkpoint.json``: trial history, optimizer RNG state,
+  schedule) and the loader behind ``repro search --resume`` /
+  ``BOMPNAS.run(resume_from=...)``.  A resumed run is bit-identical to an
+  uninterrupted one.
+- :mod:`repro.resilience.faults` — a deterministic, env-controlled fault
+  harness (``BOMP_FAULTS``) that injects worker crashes, hangs, errors,
+  corrupt outcomes, and mid-checkpoint kills at scripted trial indices, so
+  every failure mode the engine handles is exercised by tier-1 tests.
+
+The retry/timeout/degradation *policy* that consumes the injected faults
+lives with the process pool in :mod:`repro.parallel.engine`
+(:class:`~repro.parallel.engine.RetryPolicy`).
+"""
+
+from .checkpoint import (CHECKPOINT_FILENAME, CHECKPOINT_SCHEMA_VERSION,
+                         CheckpointError, SearchCheckpoint, checkpoint_path,
+                         has_checkpoint, load_checkpoint, save_checkpoint,
+                         validate_checkpoint, validate_checkpoint_file)
+from .faults import (FAULT_DIR_ENV, FAULT_KINDS, FAULTS_ENV, FaultPlan,
+                     FaultPlanError, InjectedFault, active_plan,
+                     checkpoint_fault, corrupt_outcome_due,
+                     inject_trial_fault)
+
+__all__ = [
+    "SearchCheckpoint", "CheckpointError", "CHECKPOINT_FILENAME",
+    "CHECKPOINT_SCHEMA_VERSION", "checkpoint_path", "has_checkpoint",
+    "load_checkpoint", "save_checkpoint", "validate_checkpoint",
+    "validate_checkpoint_file",
+    "FaultPlan", "FaultPlanError", "InjectedFault", "FAULTS_ENV",
+    "FAULT_DIR_ENV", "FAULT_KINDS", "active_plan", "checkpoint_fault",
+    "corrupt_outcome_due", "inject_trial_fault",
+]

@@ -1,0 +1,212 @@
+"""Deterministic, env-controlled fault injection for resilience tests.
+
+The whole point of a fault-tolerance layer is that it is *proven*, not
+asserted — so every failure mode the engine claims to survive (worker
+crashes, hangs, corrupt outcomes, deaths mid-checkpoint) must be
+triggerable on demand, at a scripted trial index, across process
+boundaries.  This module is that trigger.
+
+A *fault plan* is parsed from the ``BOMP_FAULTS`` environment variable::
+
+    BOMP_FAULTS="crash@3,hang@5,error@2x2,corrupt@7"
+
+Each entry is ``kind@index`` with an optional ``xN`` repeat count (default
+1).  Supported kinds:
+
+- ``crash``     — the worker process SIGKILLs itself before evaluating the
+  trial (simulates the OOM killer / preempted node);
+- ``hang``      — the worker sleeps ``BOMP_FAULT_HANG_S`` seconds (default
+  3600) before evaluating, tripping the per-trial timeout;
+- ``error``     — an exception is raised inside evaluation and ships back
+  as a ``TrialOutcome.error``;
+- ``corrupt``   — the worker returns a structurally invalid outcome
+  (no results, no error) that the engine must reject and retry;
+- ``ckpt-tear`` — the process SIGKILLs itself *mid-checkpoint*, after the
+  temp file is written but before the atomic rename (the index is the
+  checkpoint's batch index);
+- ``ckpt-kill`` — the process SIGKILLs itself immediately after the
+  checkpoint rename lands (a clean kill between batches).
+
+Because faults must fire a bounded number of times even when the faulting
+process dies and a fresh worker retries the same trial, fired-counts are
+recorded in a filesystem *ledger* (``BOMP_FAULT_DIR``): each firing claims
+one ``<kind>-<index>-<n>`` file with ``O_CREAT | O_EXCL``, which is atomic
+across processes.  A plan without a ledger directory is an error — it
+would retry-crash forever.
+
+Injection sites live in the worker path (:func:`inject_trial_fault`,
+:func:`corrupt_outcome_due` in :mod:`repro.parallel.engine`) and the
+checkpoint writer (:func:`checkpoint_fault` in
+:mod:`repro.resilience.checkpoint`); with ``BOMP_FAULTS`` unset they cost
+one environment lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+#: the fault plan, e.g. ``"crash@3,hang@5x2"``
+FAULTS_ENV = "BOMP_FAULTS"
+
+#: ledger directory recording how often each fault has fired
+FAULT_DIR_ENV = "BOMP_FAULT_DIR"
+
+#: how long an injected hang sleeps (seconds)
+HANG_SECONDS_ENV = "BOMP_FAULT_HANG_S"
+
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: every fault kind a plan may script
+FAULT_KINDS = ("crash", "hang", "error", "corrupt", "ckpt-tear", "ckpt-kill")
+
+
+class FaultPlanError(ValueError):
+    """The ``BOMP_FAULTS`` specification is malformed or unusable."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an injected ``error`` fault."""
+
+
+class FaultPlan:
+    """A parsed fault plan plus the ledger enforcing bounded firing.
+
+    Args:
+        faults: ``(kind, index) -> count`` firing budget.
+        ledger: directory holding one marker file per firing.
+    """
+
+    def __init__(self, faults: Dict[Tuple[str, int], int],
+                 ledger: Path) -> None:
+        self.faults = dict(faults)
+        self.ledger = Path(ledger)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def parse(cls, spec: str, ledger: Optional[str]) -> "FaultPlan":
+        """Parse a ``kind@index[xN]`` list; requires a ledger directory."""
+        if not ledger:
+            raise FaultPlanError(
+                f"{FAULTS_ENV} is set but {FAULT_DIR_ENV} is not; a ledger "
+                "directory is required so faults fire a bounded number of "
+                "times across worker respawns")
+        faults: Dict[Tuple[str, int], int] = {}
+        for entry in spec.replace(";", ",").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "@" not in entry:
+                raise FaultPlanError(
+                    f"bad fault entry {entry!r}: expected kind@index[xN]")
+            kind, _, where = entry.partition("@")
+            kind = kind.strip()
+            if kind not in FAULT_KINDS:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; choices: {FAULT_KINDS}")
+            index_part, _, count_part = where.partition("x")
+            try:
+                index = int(index_part)
+                count = int(count_part) if count_part else 1
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad fault entry {entry!r}: expected kind@index[xN]")
+            if index < 0 or count < 1:
+                raise FaultPlanError(
+                    f"bad fault entry {entry!r}: index must be >= 0 and "
+                    "count >= 1")
+            key = (kind, index)
+            faults[key] = faults.get(key, 0) + count
+        return cls(faults, Path(ledger))
+
+    def fires(self, kind: str, index: int) -> bool:
+        """True iff this (kind, index) fault should fire *now*.
+
+        A ``True`` return atomically claims one firing slot in the ledger,
+        so the fault fires exactly its budgeted count across any number of
+        processes, retries, and worker respawns.
+        """
+        budget = self.faults.get((kind, index), 0)
+        if budget <= 0:
+            return False
+        self.ledger.mkdir(parents=True, exist_ok=True)
+        for n in range(budget):
+            marker = self.ledger / f"{kind}-{index}-{n}"
+            try:
+                fd = os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+
+# parse-once cache keyed by the exact env values (the ledger lives on the
+# filesystem, so a cached plan object stays correct across firings)
+_cache: Tuple[Optional[str], Optional[str], Optional[FaultPlan]] = \
+    (None, None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The current env-configured fault plan, or ``None`` when unset."""
+    global _cache
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        return None
+    ledger = os.environ.get(FAULT_DIR_ENV)
+    if _cache[0] == spec and _cache[1] == ledger:
+        return _cache[2]
+    plan = FaultPlan.parse(spec, ledger)
+    _cache = (spec, ledger, plan)
+    return plan
+
+
+def _die() -> None:  # pragma: no cover — the process is gone afterwards
+    """Hard-kill the current process (uncatchable, like the OOM killer)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def hang_seconds() -> float:
+    return float(os.environ.get(HANG_SECONDS_ENV, DEFAULT_HANG_SECONDS))
+
+
+def inject_trial_fault(index: int) -> None:
+    """Worker-path hook: crash, hang, or raise before evaluating ``index``.
+
+    Called at the top of the worker task.  ``crash`` never returns;
+    ``hang`` sleeps long enough to trip the engine's per-trial timeout;
+    ``error`` raises :class:`InjectedFault` (shipped back as a normal
+    worker error outcome).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fires("crash", index):  # pragma: no cover — kills the worker
+        _die()
+    if plan.fires("hang", index):
+        time.sleep(hang_seconds())
+    if plan.fires("error", index):
+        raise InjectedFault(f"injected worker error at trial {index}")
+
+
+def corrupt_outcome_due(index: int) -> bool:
+    """Worker-path hook: should trial ``index`` return a corrupt outcome?"""
+    plan = active_plan()
+    return plan is not None and plan.fires("corrupt", index)
+
+
+def checkpoint_fault(stage: str, batch_index: int) -> None:
+    """Checkpoint-writer hook: die mid-write (tear) or post-rename (kill).
+
+    ``stage`` is ``"ckpt-tear"`` (called between writing the temp file and
+    the atomic rename — a survived tear must leave the previous checkpoint
+    intact) or ``"ckpt-kill"`` (called right after the rename lands).
+    """
+    plan = active_plan()
+    if plan is not None and plan.fires(stage, batch_index):
+        _die()  # pragma: no cover — kills the process

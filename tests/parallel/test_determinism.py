@@ -60,6 +60,32 @@ class TestWorkerCountInvariance:
                 trial.phase_times["train"])
 
 
+class TestCrashRecoveryInvariance:
+    """A worker SIGKILLed mid-batch must not change the search result:
+    the pool respawns, the trial is re-evaluated from its deterministic
+    seed, and the run stays bit-identical to serial."""
+
+    @pytest.mark.faults
+    def test_worker_killed_mid_batch_identical_to_serial(
+            self, serial_run, monkeypatch, tmp_path):
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        config, dataset, serial = serial_run
+        monkeypatch.setenv("BOMP_FAULTS", "crash@1")
+        monkeypatch.setenv("BOMP_FAULT_DIR", str(tmp_path / "ledger"))
+        recovered = BOMPNAS(config, dataset).run(final_training=False,
+                                                 workers=2)
+        assert [t.genome for t in recovered.trials] == \
+            [t.genome for t in serial.trials]
+        assert [t.score for t in recovered.trials] == \
+            [t.score for t in serial.trials]
+        assert [t.accuracy for t in recovered.trials] == \
+            [t.accuracy for t in serial.trials]
+        assert (tmp_path / "ledger" / "crash-1-0").exists(), \
+            "the scripted crash never fired"
+
+
 class TestTraceInvariance:
     """--trace must never change results: instrumentation reads clocks and
     values, never the run's random generators."""

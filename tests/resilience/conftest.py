@@ -1,0 +1,29 @@
+"""Shared fixtures for the fault-injection / checkpoint-resume tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import (FAULT_DIR_ENV, FAULTS_ENV,
+                                     HANG_SECONDS_ENV)
+
+
+@pytest.fixture
+def fault_env(monkeypatch, tmp_path):
+    """Arm a ``BOMP_FAULTS`` plan with a fresh ledger; returns the ledger.
+
+    Usage::
+
+        ledger = fault_env("crash@2")            # default hang seconds
+        ledger = fault_env("hang@0", hang_s=60)  # short injected hang
+    """
+
+    def arm(spec: str, hang_s=None):
+        ledger = tmp_path / "fault-ledger"
+        monkeypatch.setenv(FAULTS_ENV, spec)
+        monkeypatch.setenv(FAULT_DIR_ENV, str(ledger))
+        if hang_s is not None:
+            monkeypatch.setenv(HANG_SECONDS_ENV, str(hang_s))
+        return ledger
+
+    return arm

@@ -1,0 +1,182 @@
+"""Checkpoint persistence: atomic writes, validation, schema dispatch."""
+
+import json
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import (CHECKPOINT_FILENAME,
+                                         CHECKPOINT_SCHEMA_VERSION,
+                                         CheckpointError, SearchCheckpoint,
+                                         checkpoint_path, has_checkpoint,
+                                         load_checkpoint, save_checkpoint,
+                                         validate_checkpoint,
+                                         validate_checkpoint_file)
+
+
+def make_checkpoint(batch_index=1, n_trials=2):
+    rng_state = json.loads(json.dumps(
+        np.random.default_rng(0).bit_generator.state))
+    return SearchCheckpoint(
+        config={"dataset": "cifar10", "mode": "mp_qaft", "seed": 0},
+        batch_size=2, total_trials=4, batch_index=batch_index,
+        trials=[{"index": i, "genome": {"blocks": []}, "score": 0.5 + i}
+                for i in range(n_trials)],
+        optimizer={"seed_given": True, "rng_state": rng_state},
+        dataset_spec={"name": "tiny", "num_classes": 10, "n_train": 96,
+                      "n_test": 48, "seed": 3})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        checkpoint = make_checkpoint()
+        clone = SearchCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.as_dict())))
+        assert clone == checkpoint
+
+    def test_file_round_trip(self, tmp_path):
+        checkpoint = make_checkpoint()
+        path = save_checkpoint(tmp_path, checkpoint)
+        assert path == tmp_path / CHECKPOINT_FILENAME
+        assert has_checkpoint(tmp_path)
+        assert load_checkpoint(tmp_path) == checkpoint
+        # loading by direct file path works too
+        assert load_checkpoint(path) == checkpoint
+
+    def test_rng_state_round_trips_exactly(self, tmp_path):
+        rng = np.random.default_rng(1234)
+        rng.random(17)  # advance mid-stream
+        state = rng.bit_generator.state
+        checkpoint = make_checkpoint()
+        checkpoint.optimizer["rng_state"] = json.loads(json.dumps(state))
+        save_checkpoint(tmp_path, checkpoint)
+        restored = np.random.default_rng(0)
+        restored.bit_generator.state = \
+            load_checkpoint(tmp_path).optimizer["rng_state"]
+        assert list(rng.random(8)) == list(restored.random(8))
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_unreadable_json_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_checkpoint(tmp_path)
+
+    def test_checkpoint_path_shapes(self, tmp_path):
+        assert checkpoint_path(tmp_path) == tmp_path / CHECKPOINT_FILENAME
+        direct = tmp_path / "other.json"
+        assert checkpoint_path(direct) == direct
+
+
+class TestValidation:
+    def test_valid_payload(self):
+        assert validate_checkpoint(make_checkpoint().as_dict()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_checkpoint([1, 2]) == \
+            ["checkpoint payload is not a JSON object"]
+
+    @pytest.mark.parametrize("field", ["schema", "config", "batch_size",
+                                       "total_trials", "batch_index",
+                                       "trials", "optimizer"])
+    def test_missing_field_flagged(self, field):
+        payload = make_checkpoint().as_dict()
+        del payload[field]
+        assert any(field in p for p in validate_checkpoint(payload))
+
+    def test_wrong_schema_flagged(self):
+        payload = make_checkpoint().as_dict()
+        payload["schema"] = CHECKPOINT_SCHEMA_VERSION + 1
+        assert any("schema" in p for p in validate_checkpoint(payload))
+
+    def test_bad_batch_size_flagged(self):
+        payload = make_checkpoint().as_dict()
+        payload["batch_size"] = 0
+        assert any("batch_size" in p for p in validate_checkpoint(payload))
+        payload["batch_size"] = "two"
+        assert any("batch_size" in p for p in validate_checkpoint(payload))
+
+    def test_trial_missing_fields_flagged(self):
+        payload = make_checkpoint().as_dict()
+        del payload["trials"][0]["score"]
+        assert any("score" in p for p in validate_checkpoint(payload))
+
+    def test_optimizer_state_flagged(self):
+        payload = make_checkpoint().as_dict()
+        del payload["optimizer"]["rng_state"]
+        assert any("rng_state" in p for p in validate_checkpoint(payload))
+        payload = make_checkpoint().as_dict()
+        payload["optimizer"]["rng_state"] = {"no": "bit_generator"}
+        assert any("bit_generator" in p
+                   for p in validate_checkpoint(payload))
+
+    def test_from_dict_rejects_invalid(self):
+        with pytest.raises(CheckpointError, match="invalid checkpoint"):
+            SearchCheckpoint.from_dict({"schema": 1})
+
+    def test_validate_file(self, tmp_path):
+        save_checkpoint(tmp_path, make_checkpoint())
+        assert validate_checkpoint_file(tmp_path) == []
+        assert validate_checkpoint_file(tmp_path / "missing") != []
+
+    def test_obs_schema_dispatch(self, tmp_path):
+        """obs.schema.validate_path routes checkpoint.json files here."""
+        from repro.obs.schema import validate_path
+        path = save_checkpoint(tmp_path, make_checkpoint())
+        assert validate_path(path) == []
+        payload = json.loads(path.read_text())
+        del payload["optimizer"]
+        path.write_text(json.dumps(payload))
+        assert any("optimizer" in p for p in validate_path(path))
+
+
+def _write_with_faults(run_dir, checkpoint, env):
+    os.environ.update(env)
+    save_checkpoint(run_dir, checkpoint)
+
+
+@pytest.mark.faults
+class TestAtomicity:
+    """A process killed mid-write must never tear the previous checkpoint."""
+
+    def _fork(self, target, *args):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=target, args=args)
+        process.start()
+        process.join(timeout=60)
+        assert not process.is_alive()
+        return process.exitcode
+
+    def test_kill_before_rename_keeps_previous(self, tmp_path):
+        save_checkpoint(tmp_path, make_checkpoint(batch_index=1))
+        env = {"BOMP_FAULTS": "ckpt-tear@2",
+               "BOMP_FAULT_DIR": str(tmp_path / "ledger")}
+        exitcode = self._fork(_write_with_faults, tmp_path,
+                              make_checkpoint(batch_index=2, n_trials=4),
+                              env)
+        assert exitcode == -signal.SIGKILL
+        survivor = load_checkpoint(tmp_path)
+        assert survivor.batch_index == 1
+        assert len(survivor.trials) == 2
+        # the torn temp file is left behind but never read
+        assert list(tmp_path.glob(f"{CHECKPOINT_FILENAME}.tmp.*"))
+
+    def test_kill_after_rename_keeps_new(self, tmp_path):
+        save_checkpoint(tmp_path, make_checkpoint(batch_index=1))
+        env = {"BOMP_FAULTS": "ckpt-kill@2",
+               "BOMP_FAULT_DIR": str(tmp_path / "ledger")}
+        exitcode = self._fork(_write_with_faults, tmp_path,
+                              make_checkpoint(batch_index=2, n_trials=4),
+                              env)
+        assert exitcode == -signal.SIGKILL
+        survivor = load_checkpoint(tmp_path)
+        assert survivor.batch_index == 2
+        assert len(survivor.trials) == 4

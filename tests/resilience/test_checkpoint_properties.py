@@ -1,0 +1,150 @@
+"""Property tests: checkpoint round-trips restore search state *exactly*.
+
+Resume correctness rests on three invariants, each checked over random
+seeds/histories via hypothesis:
+
+- RNG streams survive a JSON round trip of the bit-generator state;
+- the GP surrogate rebuilt by replaying serialized trials produces
+  bit-identical posterior predictions (and therefore identical proposals);
+- Pareto fronts are preserved by trial-result serialization.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bo.optimizer import BayesianOptimizer
+from repro.nas.trial import TrialResult, genome_from_dict, genome_to_dict
+from repro.space import SearchSpace
+
+SPACE = SearchSpace("cifar10")
+
+seeds = st.integers(0, 2**32 - 1)
+scores = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+def json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def make_optimizer(seed):
+    return BayesianOptimizer(SPACE, np.random.default_rng(seed),
+                             pool_size=20, n_initial_random=3)
+
+
+def serialized_history(genome_seed, score_list):
+    """A trial history as it would come back out of a checkpoint file."""
+    sampler = np.random.default_rng(genome_seed)
+    history = []
+    for score in score_list:
+        genome = SPACE.random_genome(sampler)
+        history.append(json_round_trip(
+            {"genome": genome_to_dict(genome), "score": score}))
+    return history
+
+
+class TestRngStateRoundTrip:
+    @given(seed=seeds, n_consumed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_streams_identical_after_round_trip(self, seed, n_consumed):
+        rng = np.random.default_rng(seed)
+        rng.random(n_consumed)
+        snapshot = json_round_trip(rng.bit_generator.state)
+        clone = np.random.default_rng(0)
+        clone.bit_generator.state = snapshot
+        assert list(rng.random(16)) == list(clone.random(16))
+        assert list(rng.integers(0, 1000, 8)) == \
+            list(clone.integers(0, 1000, 8))
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_optimizer_state_dict_round_trips(self, seed):
+        optimizer = make_optimizer(seed)
+        optimizer.ask()  # consume the seed anchor + some RNG
+        state = json_round_trip(optimizer.state_dict())
+        clone = make_optimizer(0)
+        clone.restore_state(state)
+        assert clone._seed_given == optimizer._seed_given
+        assert list(clone.rng.random(8)) == list(optimizer.rng.random(8))
+
+
+class TestReplayedSurrogate:
+    @given(seed=seeds, genome_seed=seeds,
+           score_list=st.lists(scores, min_size=1, max_size=7))
+    @settings(max_examples=10, deadline=None)
+    def test_posterior_predictions_exact(self, seed, genome_seed,
+                                         score_list):
+        history = serialized_history(genome_seed, score_list)
+        original = make_optimizer(seed)
+        replayed = make_optimizer(seed)
+        sampler = np.random.default_rng(genome_seed)
+        for entry in history:
+            original.tell(SPACE.random_genome(sampler), entry["score"])
+            replayed.tell(genome_from_dict(entry["genome"]),
+                          entry["score"])
+        for optimizer in (original, replayed):
+            optimizer.gp.fit(np.stack(optimizer._encodings),
+                             np.asarray(optimizer._scores))
+        probes = np.stack([
+            original.distance.encode(SPACE.random_genome(
+                np.random.default_rng(7)))
+            for _ in range(3)])
+        mean_a, std_a = original.gp.predict(probes)
+        mean_b, std_b = replayed.gp.predict(probes)
+        assert np.array_equal(mean_a, mean_b)
+        assert np.array_equal(std_a, std_b)
+
+    @given(seed=seeds, genome_seed=seeds,
+           score_list=st.lists(scores, unique=True, min_size=1,
+                               max_size=7))
+    @settings(max_examples=10, deadline=None)
+    def test_next_proposal_identical_after_restore(self, seed, genome_seed,
+                                                   score_list):
+        """The property resume rests on: replay + state restore => the
+        next ask() proposes exactly what an uninterrupted run would."""
+        original = make_optimizer(seed)
+        sampler = np.random.default_rng(genome_seed)
+        told = [(SPACE.random_genome(sampler), score)
+                for score in score_list]
+        for genome, score in told:
+            original.tell(genome, score)
+        state = json_round_trip(original.state_dict())
+        history = [json_round_trip({"genome": genome_to_dict(g),
+                                    "score": s}) for g, s in told]
+
+        resumed = make_optimizer(0)  # different construction seed on purpose
+        for entry in history:
+            resumed.tell(genome_from_dict(entry["genome"]), entry["score"])
+        resumed.restore_state(state)
+        assert resumed.ask().as_key() == original.ask().as_key()
+
+
+class TestParetoRoundTrip:
+    @given(genome_seed=seeds,
+           objectives=st.lists(st.tuples(st.floats(0, 1), st.floats(1, 64)),
+                               min_size=1, max_size=10))
+    @settings(max_examples=10, deadline=None)
+    def test_front_preserved(self, genome_seed, objectives):
+        from repro.nas.results import SearchResult
+        from repro.nas.config import SearchConfig, get_mode, get_scale
+        sampler = np.random.default_rng(genome_seed)
+        trials = []
+        for index, (accuracy, size_kb) in enumerate(objectives):
+            trials.append(TrialResult(
+                index=index, genome=SPACE.random_genome(sampler),
+                accuracy=accuracy, fp_accuracy=accuracy,
+                size_bits=int(size_kb * 8 * 1024), size_kb=size_kb,
+                score=accuracy - size_kb / 64, macs=1, params=1,
+                train_seconds=0.0, gpu_hours=0.0))
+        config = SearchConfig(dataset="cifar10", mode=get_mode("mp_qaft"),
+                              scale=get_scale("unit"), seed=0)
+        result = SearchResult(config=config, trials=trials)
+        restored = SearchResult.from_dict(
+            json.loads(json.dumps(result.as_dict())))
+        assert restored.pareto_trial_indices() == \
+            result.pareto_trial_indices()
+        assert restored.candidate_front() == result.candidate_front()
+        assert [t.score for t in restored.trials] == \
+            [t.score for t in result.trials]

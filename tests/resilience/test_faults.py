@@ -1,0 +1,111 @@
+"""Unit tests for the deterministic fault-injection plans and ledger."""
+
+import pytest
+
+from repro.resilience.faults import (FAULT_KINDS, FaultPlan, FaultPlanError,
+                                     InjectedFault, active_plan,
+                                     corrupt_outcome_due, inject_trial_fault)
+
+
+class TestPlanParsing:
+    def test_basic_entries(self, tmp_path):
+        plan = FaultPlan.parse("crash@3,hang@5,error@2x2,corrupt@7",
+                               str(tmp_path))
+        assert plan.faults == {("crash", 3): 1, ("hang", 5): 1,
+                               ("error", 2): 2, ("corrupt", 7): 1}
+        assert bool(plan)
+
+    def test_counts_accumulate_across_entries(self, tmp_path):
+        plan = FaultPlan.parse("error@2x2, error@2", str(tmp_path))
+        assert plan.faults == {("error", 2): 3}
+
+    def test_semicolons_and_blanks_tolerated(self, tmp_path):
+        plan = FaultPlan.parse(" crash@1 ; ; hang@2 ", str(tmp_path))
+        assert plan.faults == {("crash", 1): 1, ("hang", 2): 1}
+
+    def test_checkpoint_kinds_accepted(self, tmp_path):
+        plan = FaultPlan.parse("ckpt-tear@1,ckpt-kill@2", str(tmp_path))
+        assert ("ckpt-tear", 1) in plan.faults
+        assert ("ckpt-kill", 2) in plan.faults
+
+    def test_missing_ledger_rejected(self):
+        with pytest.raises(FaultPlanError, match="ledger"):
+            FaultPlan.parse("crash@1", None)
+        with pytest.raises(FaultPlanError, match="ledger"):
+            FaultPlan.parse("crash@1", "")
+
+    @pytest.mark.parametrize("spec", [
+        "crash3", "crash@", "crash@x2", "@1", "oops@1", "crash@-1",
+        "crash@1x0", "crash@1.5",
+    ])
+    def test_malformed_entries_rejected(self, spec, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(spec, str(tmp_path))
+
+
+class TestLedger:
+    def test_fires_exactly_budgeted_count(self, tmp_path):
+        plan = FaultPlan.parse("error@4x3", str(tmp_path))
+        fired = [plan.fires("error", 4) for _ in range(5)]
+        assert fired == [True, True, True, False, False]
+
+    def test_unscripted_fault_never_fires(self, tmp_path):
+        plan = FaultPlan.parse("error@4", str(tmp_path))
+        assert not plan.fires("error", 5)
+        assert not plan.fires("crash", 4)
+
+    def test_budget_shared_across_plan_instances(self, tmp_path):
+        """Two processes parsing the same env share one firing budget."""
+        first = FaultPlan.parse("crash@0x2", str(tmp_path))
+        second = FaultPlan.parse("crash@0x2", str(tmp_path))
+        assert first.fires("crash", 0)
+        assert second.fires("crash", 0)
+        assert not first.fires("crash", 0)
+        assert not second.fires("crash", 0)
+
+    def test_marker_files_record_firings(self, tmp_path):
+        plan = FaultPlan.parse("hang@2x2", str(tmp_path))
+        plan.fires("hang", 2)
+        assert (tmp_path / "hang-2-0").exists()
+        plan.fires("hang", 2)
+        assert (tmp_path / "hang-2-1").exists()
+
+
+class TestActivePlan:
+    def test_none_when_unset(self, monkeypatch):
+        monkeypatch.delenv("BOMP_FAULTS", raising=False)
+        assert active_plan() is None
+
+    def test_env_plan_parsed_and_cached(self, fault_env):
+        fault_env("error@1")
+        plan = active_plan()
+        assert plan is not None and plan.faults == {("error", 1): 1}
+        assert active_plan() is plan  # same env -> cached object
+
+    def test_plan_without_ledger_env_raises(self, monkeypatch):
+        monkeypatch.setenv("BOMP_FAULTS", "crash@1")
+        monkeypatch.delenv("BOMP_FAULT_DIR", raising=False)
+        with pytest.raises(FaultPlanError, match="ledger"):
+            active_plan()
+
+
+class TestInjectionHooks:
+    def test_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv("BOMP_FAULTS", raising=False)
+        inject_trial_fault(0)
+        assert not corrupt_outcome_due(0)
+
+    def test_error_fault_raises_once(self, fault_env):
+        fault_env("error@3")
+        with pytest.raises(InjectedFault, match="trial 3"):
+            inject_trial_fault(3)
+        inject_trial_fault(3)  # budget exhausted: no-op
+
+    def test_corrupt_fault_reports_once(self, fault_env):
+        fault_env("corrupt@2")
+        assert corrupt_outcome_due(2)
+        assert not corrupt_outcome_due(2)
+
+    def test_kind_list_is_closed(self):
+        assert set(FAULT_KINDS) == {"crash", "hang", "error", "corrupt",
+                                    "ckpt-tear", "ckpt-kill"}
