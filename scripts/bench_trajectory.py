@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Measure serial-vs-parallel search wall-clock and log the trajectory.
+"""Measure perf trajectories and log them to the ``BENCH_*.json`` files.
 
-Appends one record per invocation to ``BENCH_parallel.json`` (stable
-schema, see :mod:`repro.parallel.bench`) so successive PRs can compare
-timings::
+Default: serial-vs-parallel search wall-clock, appended to
+``BENCH_parallel.json`` (stable schema, see :mod:`repro.parallel.bench`)
+so successive PRs can compare timings::
 
     PYTHONPATH=src python scripts/bench_trajectory.py --scale smoke
+
+``--infer`` instead measures inference throughput — the serial float
+fake-quant reference vs the compiled integer engine, images/sec on the
+same batch — and appends to ``BENCH_infer.json`` (see
+:mod:`repro.infer.bench`)::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --infer
 """
 
 import argparse
@@ -35,7 +42,27 @@ def main(argv=None):
     parser.add_argument("--out", default=None,
                         help="bench log path (default: BENCH_parallel.json "
                              "at the repo root)")
+    parser.add_argument("--infer", action="store_true",
+                        help="measure inference throughput (float "
+                             "fake-quant vs integer engine) instead of "
+                             "search parallelism; logs to BENCH_infer.json")
+    parser.add_argument("--bits", type=int, default=8,
+                        help="homogeneous weight bitwidth for --infer")
+    parser.add_argument("--n-images", type=int, default=256,
+                        help="batch size measured by --infer")
     args = parser.parse_args(argv)
+
+    if args.infer:
+        from repro.infer.bench import (append_bench_record as append_infer,
+                                       default_bench_path as infer_path,
+                                       measure_inference)
+        record = measure_inference(dataset=args.dataset, bits=args.bits,
+                                   n_images=args.n_images, seed=args.seed)
+        path = Path(args.out) if args.out else infer_path()
+        append_infer(path, record)
+        print(json.dumps(record, indent=2))
+        print(f"appended to {path}")
+        return 0
 
     workers = args.workers if args.workers is not None else default_workers()
     record = measure_speedup(scale=args.scale, dataset=args.dataset,

@@ -9,6 +9,11 @@ Commands:
   run directory — render its search-health dashboard.
 - ``inspect`` — summarize a saved search result JSON.
 - ``space``   — print the Table I search space and its cardinalities.
+- ``export``  — re-materialize a searched candidate from a saved run
+  (result JSON or checkpoint) into a deployable integer-inference
+  artifact (see :mod:`repro.infer`).
+- ``infer``   — run the integer-only engine on an exported artifact:
+  deployed accuracy, deployment cost report, optional parity check.
 """
 
 from __future__ import annotations
@@ -121,6 +126,34 @@ def build_parser() -> argparse.ArgumentParser:
         "space", help="print the search space and cardinalities")
     space.add_argument("--dataset", choices=("cifar10", "cifar100"),
                        default="cifar10")
+
+    export = commands.add_parser(
+        "export",
+        help="materialize a searched model into a deployable "
+             "integer-inference artifact")
+    export.add_argument("source",
+                        help="search result JSON, checkpoint.json, or a "
+                             "run directory containing either")
+    export.add_argument("--trial", type=int, default=None,
+                        help="trial index to export (default: highest "
+                             "score)")
+    export.add_argument("--force-qaft", action="store_true",
+                        help="apply QAFT in the re-run final training "
+                             "even for PTQ search modes")
+    export.add_argument("--out", default=None,
+                        help="artifact path (default: <source dir>/"
+                             "model-trial<N>.bomp)")
+
+    infer = commands.add_parser(
+        "infer", help="run the integer-only engine on an exported "
+                      "artifact")
+    infer.add_argument("artifact", help="path to a .bomp artifact")
+    infer.add_argument("--batch-size", type=int, default=256)
+    infer.add_argument("--limit", type=int, default=None,
+                       help="evaluate at most N test images")
+    infer.add_argument("--parity", action="store_true",
+                       help="also run the parity harness against the "
+                            "rebuilt fake-quant reference")
     return parser
 
 
@@ -260,11 +293,68 @@ def cmd_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_export(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
+    from .infer import ArtifactError, export_run, save_artifact
+    from .quant.export import exported_size_kb
+    try:
+        artifact, final = export_run(args.source, trial_index=args.trial,
+                                     force_qaft=args.force_qaft or None)
+    except ArtifactError as exc:
+        raise SystemExit(f"export failed: {exc}")
+    source = Path(args.source)
+    out = args.out or str(
+        (source if source.is_dir() else source.parent)
+        / f"model-trial{final.trial_index}.bomp")
+    save_artifact(artifact, out)
+    reporter.emit(f"exported trial #{final.trial_index} to {out}")
+    reporter.emit(f"  fake-quant accuracy: {final.accuracy:.3f}")
+    if final.deployed_accuracy is not None:
+        reporter.emit(f"  integer-engine accuracy: "
+                      f"{final.deployed_accuracy:.3f}")
+    reporter.emit(f"  container: "
+                  f"{exported_size_kb(artifact.container):.2f} kB "
+                  f"(analytic {final.size_kb:.2f} kB)")
+    reporter.emit(f"run with: repro infer {out}")
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
+    from .infer import (ArtifactError, check_parity, deployment_report,
+                        format_report, load_artifact)
+    try:
+        artifact = load_artifact(args.artifact)
+        model = artifact.rebuild()
+    except (ArtifactError, OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load artifact: {exc}")
+    from .infer.compile import compile_model
+    program = compile_model(model, artifact.image_size,
+                            name=Path(args.artifact).stem)
+    reporter.emit(repr(program))
+    reporter.emit(format_report(deployment_report(program)))
+    x, y = artifact.test_set()
+    if args.limit is not None:
+        x, y = x[:args.limit], y[:args.limit]
+    accuracy = program.accuracy(x, y, batch_size=args.batch_size)
+    reporter.emit(f"deployed top-1 accuracy on {x.shape[0]} test images: "
+                  f"{accuracy:.3f}")
+    if args.parity:
+        report = check_parity(model, program, x[:args.batch_size])
+        reporter.emit(report.format())
+        if not report.ok():
+            reporter.emit("PARITY FAILED")
+            return 1
+    return 0
+
+
 COMMANDS = {
     "search": cmd_search,
     "report": cmd_report,
     "inspect": cmd_inspect,
     "space": cmd_space,
+    "export": cmd_export,
+    "infer": cmd_infer,
 }
 
 

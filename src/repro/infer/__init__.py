@@ -1,0 +1,44 @@
+"""Integer-only inference: compile, execute, verify, and cost a model.
+
+The deployment half of BOMP-NAS: a searched, quantized model is compiled
+into an integer-only program (folded BatchNorm, fixed-point
+requantization, int32 accumulation — no float arithmetic on the hot
+path), executed batch-wise with :mod:`repro.obs` instrumentation,
+checked against the fake-quant reference by the parity harness, and
+costed by the deployment report (MACs, packed weight bytes, peak INT8
+activation memory).  :mod:`repro.infer.artifact` packages all of it into
+a single deployable file driven by ``repro export`` / ``repro infer``.
+"""
+
+from .artifact import (ArtifactError, DeployableArtifact, artifact_from_bytes,
+                       artifact_to_bytes, build_artifact, collect_bn_stats,
+                       export_run, load_artifact, restore_bn_stats,
+                       save_artifact)
+from .bench import (append_bench_record, default_bench_path,
+                    measure_inference)
+from .compile import CompileError, Grid, Stage, compile_model
+from .engine import Program
+from .kernels import (avg_pool_int, conv2d_int, dense_int,
+                      depthwise_conv2d_int, global_avg_pool_int,
+                      max_pool_int)
+from .parity import ParityReport, StageParity, capture_reference, check_parity
+from .report import (DeploymentReport, LayerCost, activation_liveness,
+                     deployment_report, format_report)
+from .requant import (quantize_multiplier, quantize_multipliers, requantize,
+                      rounding_doubling_high_mul, rounding_right_shift)
+
+__all__ = [
+    "ArtifactError", "DeployableArtifact", "artifact_from_bytes",
+    "artifact_to_bytes", "build_artifact", "collect_bn_stats", "export_run",
+    "load_artifact", "restore_bn_stats", "save_artifact",
+    "append_bench_record", "default_bench_path", "measure_inference",
+    "CompileError", "Grid", "Stage", "compile_model",
+    "Program",
+    "avg_pool_int", "conv2d_int", "dense_int", "depthwise_conv2d_int",
+    "global_avg_pool_int", "max_pool_int",
+    "ParityReport", "StageParity", "capture_reference", "check_parity",
+    "DeploymentReport", "LayerCost", "activation_liveness",
+    "deployment_report", "format_report",
+    "quantize_multiplier", "quantize_multipliers", "requantize",
+    "rounding_doubling_high_mul", "rounding_right_shift",
+]

@@ -1,0 +1,130 @@
+"""Inference-throughput measurement and the ``BENCH_infer.json`` log.
+
+``measure_inference`` times the same batch of images through the serial
+float fake-quant reference (``model.forward``) and through the compiled
+integer engine (``Program.run``), checks their top-1 agreement, and
+returns a record in the stable ``BENCH_infer.json`` schema (validated by
+``scripts/check_schema.py`` like the parallel-engine bench log).
+
+Schema (version 1)::
+
+    {"schema": 1,
+     "runs": [{"timestamp": <iso8601>, "dataset": ..., "bits": ...,
+               "image_size": ..., "n_images": ..., "batch_size": ...,
+               "stages": ..., "macs_per_image": ...,
+               "float_s": ..., "int_s": ...,
+               "float_ips": ..., "int_ips": ..., "int_over_float": ...,
+               "top1_agreement": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+BENCH_SCHEMA_VERSION = 1
+
+#: record fields, in stable order (new fields are appended, never renamed)
+RECORD_FIELDS = (
+    "timestamp", "dataset", "bits", "image_size", "n_images", "batch_size",
+    "stages", "macs_per_image", "float_s", "int_s", "float_ips", "int_ips",
+    "int_over_float", "top1_agreement",
+)
+
+
+def default_bench_path() -> Path:
+    """``BENCH_infer.json`` at the repository root (cwd fallback)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / "BENCH_infer.json"
+    return Path.cwd() / "BENCH_infer.json"
+
+
+def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
+    """Append one run record, creating or migrating the file as needed."""
+    path = Path(path)
+    payload: Dict[str, Any] = {"schema": BENCH_SCHEMA_VERSION, "runs": []}
+    if path.exists():
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict) and isinstance(
+                existing.get("runs"), list):
+            payload["runs"] = existing["runs"]
+    ordered = {key: record.get(key) for key in RECORD_FIELDS}
+    for key in record:
+        if key not in ordered:
+            ordered[key] = record[key]
+    payload["runs"].append(ordered)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def measure_inference(dataset: str = "cifar10", bits: int = 8,
+                      image_size: int = 16, n_images: int = 256,
+                      batch_size: int = 256, seed: int = 7,
+                      calibration_images: int = 64,
+                      model=None, x: Optional[Any] = None
+                      ) -> Dict[str, Any]:
+    """Time fake-quant vs integer-engine inference on the same batch.
+
+    Without an explicit ``model``, a seed-architecture network is built,
+    quantized homogeneously at ``bits``, and PTQ-calibrated on synthetic
+    images — weights need not be trained for a throughput measurement,
+    and the untrained path keeps the bench fast and deterministic.
+    """
+    import numpy as np
+
+    from ..data.synthetic import load_dataset
+    from ..quant.apply import apply_policy, calibrate
+    from ..space.builder import build_model
+    from ..space.space import SearchSpace
+    from .compile import compile_model
+
+    if x is None:
+        data = load_dataset(dataset, n_train=max(calibration_images, 1),
+                            n_test=max(n_images, 1),
+                            image_size=image_size, seed=seed)
+        x = data.x_test[:n_images]
+        calibration = data.x_train[:calibration_images]
+    else:
+        x = np.asarray(x)
+        calibration = x
+    if model is None:
+        space = SearchSpace(dataset)
+        num_classes = {"cifar10": 10, "cifar100": 100}[dataset]
+        model = build_model(space.seed_arch(), num_classes,
+                            rng=np.random.default_rng(seed))
+        apply_policy(model, space.seed_policy(bits))
+        calibrate(model, calibration, batch_size=batch_size)
+    model.set_training(False)
+    program = compile_model(model, int(x.shape[1]), name="bench")
+
+    start = time.perf_counter()
+    float_logits = []
+    for lo in range(0, x.shape[0], batch_size):
+        float_logits.append(model.forward(x[lo:lo + batch_size]))
+    float_logits = np.concatenate(float_logits, axis=0)
+    float_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    int_logits = program.run(x, batch_size=batch_size)
+    int_s = time.perf_counter() - start
+
+    agreement = float((np.argmax(int_logits, axis=1)
+                       == np.argmax(float_logits, axis=1)).mean())
+    n = int(x.shape[0])
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "dataset": dataset, "bits": bits,
+        "image_size": int(x.shape[1]), "n_images": n,
+        "batch_size": batch_size, "stages": len(program.stages),
+        "macs_per_image": program.total_macs(),
+        "float_s": round(float_s, 4), "int_s": round(int_s, 4),
+        "float_ips": round(n / float_s, 2) if float_s else None,
+        "int_ips": round(n / int_s, 2) if int_s else None,
+        "int_over_float": round(int_s / float_s, 3) if float_s else None,
+        "top1_agreement": agreement,
+    }

@@ -1,0 +1,150 @@
+"""The integer inference engine: executes a compiled stage program.
+
+Activations travel between stages as int32 *codes* in the grid of the
+next quantized consumer.  The only float arithmetic is at the program
+boundary: quantizing the input image (the "ADC" step) and dequantizing
+the final classifier accumulators into logits.  Everything in between —
+convolutions, bias adds, requantization, activation clamps, residual
+adds, pooling — is integer-only, which the parity suite enforces by
+monkeypatch-forbidding float ``np.matmul`` during execution.
+
+Execution is instrumented with :mod:`repro.obs`: a span per batch, a span
+per stage (op kind and output shape in the tags), and counters for images
+and MACs, so ``--trace`` runs produce a per-op time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs.trace import get_recorder
+from .compile import Grid, Stage
+from .kernels import (avg_pool_int, conv2d_int, dense_int,
+                      depthwise_conv2d_int, global_avg_pool_int,
+                      max_pool_int)
+from .requant import requantize
+
+
+@dataclass
+class Program:
+    """A compiled integer-only network, ready to run."""
+
+    stages: List[Stage]
+    input_grid: Grid
+    image_size: int
+    in_channels: int
+    name: str = "model"
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Float images -> int32 input codes (the off-hot-path ADC step)."""
+        grid = self.input_grid
+        q = np.clip(np.round(x / grid.scale + grid.zero_point),
+                    0, grid.n_levels)
+        return q.astype(np.int32)
+
+    def run_stage(self, index: int, x: np.ndarray,
+                  saved: Dict[int, np.ndarray]) -> np.ndarray:
+        stage = self.stages[index]
+        if stage.save_input:
+            saved[index] = x
+        if stage.kind in ("conv", "dw"):
+            shifted = x.astype(np.int32) - np.int32(stage.in_zp)
+            if stage.kind == "conv":
+                acc = conv2d_int(shifted, stage.weight, stage.stride,
+                                 stage.padding)
+            else:
+                acc = depthwise_conv2d_int(shifted, stage.weight,
+                                           stage.stride, stage.padding)
+            acc += stage.bias_acc
+            out = requantize(acc, stage.mult, stage.shift)
+            if stage.residual_from is not None:
+                res = saved[stage.residual_from].astype(np.int32) \
+                    - np.int32(stage.res_zp)
+                out = out + requantize(res, stage.res_mult, stage.res_shift)
+            out = out + stage.out_zp
+            return np.clip(out, stage.clamp_lo,
+                           stage.clamp_hi).astype(np.int32)
+        if stage.kind == "dense":
+            shifted = x.astype(np.int32) - np.int32(stage.in_zp)
+            acc = dense_int(shifted, stage.weight)
+            # output dequantization: off the hot path by definition — the
+            # program's result IS float logits
+            logits = acc.astype(np.float64) * stage.out_scale \
+                + stage.out_bias
+            return logits.astype(np.float32)
+        if stage.kind == "gap":
+            out = global_avg_pool_int(x)
+        elif stage.kind == "avgpool":
+            out = avg_pool_int(x, stage.pool)
+        elif stage.kind == "maxpool":
+            out = max_pool_int(x, stage.pool)
+        elif stage.kind == "flatten":
+            out = x.reshape(x.shape[0], -1)
+        else:
+            raise ValueError(f"unknown stage kind {stage.kind!r}")
+        if stage.kind in ("gap", "avgpool"):
+            out = np.clip(out, stage.clamp_lo, stage.clamp_hi)
+        return out.astype(np.int32)
+
+    def run_range(self, codes: np.ndarray, start: int, stop: int,
+                  saved: Optional[Dict[int, np.ndarray]] = None
+                  ) -> np.ndarray:
+        """Execute stages ``[start, stop)`` on input codes.
+
+        ``saved`` pre-seeds residual inputs (the parity harness uses this
+        to teacher-force each stage with reference codes).
+        """
+        if saved is None:
+            saved = {}
+        out = codes
+        for index in range(start, stop):
+            out = self.run_stage(index, out, saved)
+        return out
+
+    def run_batch(self, x: np.ndarray) -> np.ndarray:
+        """Float images -> float logits for one batch."""
+        recorder = get_recorder()
+        codes = self.quantize_input(x)
+        saved: Dict[int, np.ndarray] = {}
+        out = codes
+        for index, stage in enumerate(self.stages):
+            if recorder.enabled:
+                with recorder.span(f"infer.{stage.name}", op=stage.kind,
+                                   out_shape=list(stage.out_shape)):
+                    out = self.run_stage(index, out, saved)
+            else:
+                out = self.run_stage(index, out, saved)
+        return out
+
+    def run(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Float images -> float logits, batched."""
+        recorder = get_recorder()
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            batch = x[start:start + batch_size]
+            with recorder.span("infer.batch", images=int(batch.shape[0])):
+                outputs.append(self.run_batch(batch))
+            if recorder.enabled:
+                recorder.counter("infer.images", int(batch.shape[0]))
+                recorder.counter("infer.macs",
+                                 self.total_macs() * int(batch.shape[0]))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Float images -> predicted class indices."""
+        return np.argmax(self.run(x, batch_size=batch_size), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Deployed top-1 accuracy on a labelled set."""
+        return float((self.predict(x, batch_size=batch_size) == y).mean())
+
+    def total_macs(self) -> int:
+        return sum(stage.macs for stage in self.stages)
+
+    def __repr__(self) -> str:
+        return (f"Program({self.name}, {len(self.stages)} stages, "
+                f"{self.total_macs()} MACs)")

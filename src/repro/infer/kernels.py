@@ -1,0 +1,115 @@
+"""Integer-only compute kernels for the inference engine.
+
+Every function here accepts and returns integer arrays — float inputs are
+rejected, and all contractions go through :func:`numpy.matmul` explicitly
+(never the ``@`` operator) so the parity suite can monkeypatch
+``np.matmul`` to prove no float GEMM runs on the hot path.
+
+Inputs to the conv/dense kernels are *zero-point-shifted* codes
+(``q - zp``) in int32; "same" padding therefore pads with literal zeros,
+which corresponds exactly to the float reference padding with ``0.0``.
+Accumulation is INT32, matching the deployment contract of TFLite/CMSIS-NN
+integer kernels (the accumulator head-room proof lives in
+``tests/quant/test_integer_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+
+INT_KINDS = ("i", "u")
+
+
+def _require_int(x: np.ndarray, who: str) -> None:
+    if x.dtype.kind not in INT_KINDS:
+        raise TypeError(f"{who}: expected integer array, got {x.dtype}")
+
+
+def conv2d_int(x: np.ndarray, weight: np.ndarray, stride: int,
+               padding: str) -> np.ndarray:
+    """Standard convolution: int32 NHWC codes x int32 (k,k,cin,cout)."""
+    _require_int(x, "conv2d_int")
+    _require_int(weight, "conv2d_int")
+    kernel = weight.shape[0]
+    cout = weight.shape[3]
+    if kernel == 1:
+        strided = x[:, ::stride, ::stride, :]
+        n, ho, wo, c = strided.shape
+        out = np.matmul(strided.reshape(-1, c).astype(np.int32),
+                        weight.reshape(c, cout).astype(np.int32))
+        return out.reshape(n, ho, wo, cout)
+    padded, _, _ = F.pad_input(x, kernel, stride, padding)
+    patches = F.extract_patches(padded, kernel, stride)
+    n, ho, wo, c, kh, kw = patches.shape
+    # flatten both operands in (c, kh, kw) order so rows line up
+    lhs = np.ascontiguousarray(patches).reshape(
+        n * ho * wo, c * kh * kw).astype(np.int32)
+    rhs = weight.transpose(2, 0, 1, 3).reshape(
+        c * kh * kw, cout).astype(np.int32)
+    return np.matmul(lhs, rhs).reshape(n, ho, wo, cout)
+
+
+def depthwise_conv2d_int(x: np.ndarray, weight: np.ndarray, stride: int,
+                         padding: str) -> np.ndarray:
+    """Depthwise convolution via shift-and-add: int32 x int32 (k,k,c)."""
+    _require_int(x, "depthwise_conv2d_int")
+    _require_int(weight, "depthwise_conv2d_int")
+    kernel = weight.shape[0]
+    padded, _, _ = F.pad_input(x, kernel, stride, padding)
+    out_h = F.conv_output_size(x.shape[1], kernel, stride, padding)
+    out_w = F.conv_output_size(x.shape[2], kernel, stride, padding)
+    span_h = (out_h - 1) * stride + 1
+    span_w = (out_w - 1) * stride + 1
+    out = np.zeros((x.shape[0], out_h, out_w, x.shape[3]), dtype=np.int32)
+    w32 = weight.astype(np.int32)
+    for i in range(kernel):
+        for j in range(kernel):
+            window = padded[:, i:i + span_h:stride, j:j + span_w:stride, :]
+            out += window.astype(np.int32) * w32[i, j]
+    return out
+
+
+def dense_int(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Fully-connected: int32 (N, cin) x int32 (cin, cout)."""
+    _require_int(x, "dense_int")
+    _require_int(weight, "dense_int")
+    return np.matmul(x.astype(np.int32), weight.astype(np.int32))
+
+
+def rounded_mean_int(x: np.ndarray, axis: Tuple[int, ...]) -> np.ndarray:
+    """Round-half-up integer mean over ``axis`` (codes are non-negative)."""
+    _require_int(x, "rounded_mean_int")
+    count = 1
+    for ax in axis:
+        count *= x.shape[ax]
+    total = x.astype(np.int64).sum(axis=axis)
+    return ((total + count // 2) // count).astype(np.int32)
+
+
+def global_avg_pool_int(x: np.ndarray) -> np.ndarray:
+    """(N, H, W, C) codes -> (N, C) rounded integer mean."""
+    return rounded_mean_int(x, axis=(1, 2))
+
+
+def avg_pool_int(x: np.ndarray, pool: int) -> np.ndarray:
+    """Non-overlapping ``pool x pool`` average in the integer domain."""
+    _require_int(x, "avg_pool_int")
+    n, h, w, c = x.shape
+    ho, wo = h // pool, w // pool
+    tiles = x[:, :ho * pool, :wo * pool, :].reshape(
+        n, ho, pool, wo, pool, c)
+    return rounded_mean_int(tiles, axis=(2, 4))
+
+
+def max_pool_int(x: np.ndarray, pool: int) -> np.ndarray:
+    """Non-overlapping ``pool x pool`` max — exact in any domain."""
+    _require_int(x, "max_pool_int")
+    n, h, w, c = x.shape
+    ho, wo = h // pool, w // pool
+    tiles = x[:, :ho * pool, :wo * pool, :].reshape(
+        n, ho, pool, wo, pool, c)
+    return tiles.max(axis=(2, 4)).astype(np.int32)

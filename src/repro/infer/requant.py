@@ -1,0 +1,101 @@
+"""Fixed-point requantization arithmetic (gemmlowp / TFLite convention).
+
+An integer-only engine cannot multiply accumulators by the real-valued
+rescale factor ``M = s_in * s_w / s_out``; instead ``M`` is decomposed at
+compile time into a 32-bit integer mantissa and a power-of-two exponent::
+
+    M  ≈  q * 2**(shift - 31),   q in [2**30, 2**31),  shift <= 0 usually
+
+and applied at run time with two integer primitives (the gemmlowp names):
+
+- ``rounding_doubling_high_mul(x, q)`` — ``round(x * q / 2**31)`` computed
+  in 64-bit integer arithmetic (the "high half" of the doubled product);
+- ``rounding_right_shift(v, n)`` — ``round(v / 2**n)`` (round half away
+  from zero towards +inf, i.e. ``floor(v/2**n + 1/2)``).
+
+Both are exact integer computations; the only approximation relative to
+``round(x * M)`` is the 31-bit truncation of the mantissa (relative error
+``< 2**-31``) and the rounding convention at exact ties, which is what
+bounds the engine's divergence from the float fake-quant reference to at
+most one least-significant bit per requantization step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple, Union
+
+import numpy as np
+
+IntArray = np.ndarray
+
+
+def quantize_multiplier(m: float) -> Tuple[int, int]:
+    """Decompose a positive real multiplier as ``(q, shift)``.
+
+    ``m ≈ q * 2**(shift - 31)`` with ``q`` a 31-bit mantissa in
+    ``[2**30, 2**31)`` — i.e. ``shift`` is the binary exponent of ``m``
+    (``shift <= 0`` for the typical ``m < 1``).  Degenerate non-positive
+    multipliers map to ``(0, 0)`` — the requantized output is exactly zero.
+    """
+    if not math.isfinite(m):
+        raise ValueError(f"multiplier must be finite, got {m}")
+    if m <= 0.0:
+        return 0, 0
+    mant, exp = math.frexp(m)          # m = mant * 2**exp, mant in [0.5, 1)
+    q = int(round(mant * (1 << 31)))
+    if q == (1 << 31):                 # mant rounded up to 1.0
+        q //= 2
+        exp += 1
+    return q, exp
+
+
+def quantize_multipliers(ms: np.ndarray) -> Tuple[IntArray, IntArray]:
+    """Vector form of :func:`quantize_multiplier` for per-channel scales."""
+    qs = np.empty(len(ms), dtype=np.int64)
+    shifts = np.empty(len(ms), dtype=np.int64)
+    for i, m in enumerate(np.asarray(ms, dtype=np.float64)):
+        qs[i], shifts[i] = quantize_multiplier(float(m))
+    return qs, shifts
+
+
+def rounding_doubling_high_mul(x: IntArray,
+                               q: Union[int, IntArray]) -> IntArray:
+    """``round(x * q / 2**31)`` in pure int64 arithmetic.
+
+    ``|x| < 2**31`` and ``q < 2**31`` keep the product inside int64.
+    """
+    product = x.astype(np.int64) * np.asarray(q, dtype=np.int64)
+    return (product + (1 << 30)) >> 31
+
+
+def rounding_right_shift(v: IntArray,
+                         n: Union[int, IntArray]) -> IntArray:
+    """``floor(v / 2**n + 1/2)`` — rounding right shift by ``n >= 0``."""
+    v = np.asarray(v, dtype=np.int64)
+    n = np.asarray(n, dtype=np.int64)
+    if np.any(n < 0):
+        raise ValueError("shift amount must be non-negative")
+    # 1 << (n - 1) is invalid at n == 0; mask it out instead of branching
+    half = np.where(n > 0, np.left_shift(np.int64(1),
+                                         np.maximum(n, 1) - 1), 0)
+    return np.right_shift(v + half, n)
+
+
+def requantize(acc: IntArray, q: Union[int, IntArray],
+               shift: Union[int, IntArray]) -> IntArray:
+    """Apply a compiled multiplier: ``round(acc * q * 2**(shift-31))``.
+
+    Follows the TFLite kernel convention: a positive exponent pre-shifts
+    the accumulator *left* before the high-mul (so no low bits are lost
+    for multipliers >= 1, e.g. the exactly-representable ``M = 1``), and a
+    negative exponent becomes a rounding right shift afterwards.
+
+    ``q``/``shift`` may be scalars or arrays broadcastable against ``acc``
+    (per-output-channel requantization broadcasts over the last axis).
+    Returns int64; the caller adds the output zero point and clamps.
+    """
+    shift = np.asarray(shift, dtype=np.int64)
+    pre = np.left_shift(acc.astype(np.int64), np.maximum(shift, 0))
+    v = rounding_doubling_high_mul(pre, q)
+    return rounding_right_shift(v, np.maximum(-shift, 0))

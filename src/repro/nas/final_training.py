@@ -13,7 +13,7 @@ final training, also no QAFT is applied in this case").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..data.datasets import shift_flip_augment
 from ..nn.losses import evaluate_classifier
@@ -29,15 +29,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from .search import BOMPNAS
 
 
-def train_final_model(nas: "BOMPNAS", trial: TrialResult,
-                      force_qaft: Optional[bool] = None) -> FinalModelResult:
-    """Fully train one Pareto-optimal candidate and deploy it.
+def _deployed_accuracy(model, dataset, trial_index: int) -> Optional[float]:
+    """Integer-engine test accuracy, or ``None`` if uncompilable.
+
+    Compiling can fail legitimately — e.g. weight bits above the engine's
+    8-bit ceiling, or a layer left unquantized — in which case the result
+    simply records no deployed figure rather than failing final training.
+    """
+    from ..infer.compile import CompileError, compile_model
+    try:
+        program = compile_model(model, dataset.image_shape[0],
+                                name=f"trial{trial_index}")
+    except CompileError:
+        return None
+    return program.accuracy(dataset.x_test, dataset.y_test)
+
+
+def materialize_final_model(nas: "BOMPNAS", trial: TrialResult,
+                            force_qaft: Optional[bool] = None
+                            ) -> Tuple["object", FinalModelResult]:
+    """Fully train one Pareto-optimal candidate; return (model, result).
 
     The rng is derived deterministically from (config seed, trial index),
     so re-finalizing the same trial with a different deployment treatment
     (e.g. ``force_qaft``) starts from *identical* full-precision training —
     treatment comparisons like Fig. 5's "MP PTQ-NAS (QAFT)" curve are
-    paired, not confounded by training noise.
+    paired, not confounded by training noise.  The same determinism lets
+    ``repro export`` re-materialize the exact deployed weights from a
+    saved run (see :mod:`repro.infer.artifact`).
     """
     import numpy as np
     config = nas.config
@@ -75,12 +94,21 @@ def train_final_model(nas: "BOMPNAS", trial: TrialResult,
     macs = count_macs(model, dataset.image_shape[:2])
     gpu_hours = nas.cost_model.final_training_hours(
         macs, scale.n_train, scale.final_epochs, qaft_epochs)
-    return FinalModelResult(
+    deployed = _deployed_accuracy(model, dataset, trial.index)
+    result = FinalModelResult(
         trial_index=trial.index, genome=trial.genome,
         accuracy=accuracy, fp_accuracy=fp_accuracy,
         size_bits=size, size_kb=size / (8 * 1024),
         gpu_hours=gpu_hours, candidate_accuracy=trial.accuracy,
-        candidate_size_kb=trial.size_kb)
+        candidate_size_kb=trial.size_kb, deployed_accuracy=deployed)
+    return model, result
+
+
+def train_final_model(nas: "BOMPNAS", trial: TrialResult,
+                      force_qaft: Optional[bool] = None) -> FinalModelResult:
+    """Fully train one Pareto-optimal candidate and deploy it."""
+    _, result = materialize_final_model(nas, trial, force_qaft=force_qaft)
+    return result
 
 
 def train_final_models(nas: "BOMPNAS", trials: List[TrialResult],

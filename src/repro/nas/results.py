@@ -120,8 +120,10 @@ class SearchResult:
         if self.final_models:
             lines.append(f"  final Pareto models: {len(self.final_models)}")
             for m in sorted(self.final_models, key=lambda m: m.size_kb):
+                deployed = ("" if m.deployed_accuracy is None else
+                            f" int-engine={m.deployed_accuracy:.3f}")
                 lines.append(f"    acc={m.accuracy:.3f} "
-                             f"size={m.size_kb:.2f} kB")
+                             f"size={m.size_kb:.2f} kB{deployed}")
         return "\n".join(lines)
 
     # -- persistence ----------------------------------------------------------

@@ -73,7 +73,14 @@ class TrialResult:
 
 @dataclass
 class FinalModelResult:
-    """A Pareto-optimal candidate after final training."""
+    """A Pareto-optimal candidate after final training.
+
+    ``accuracy`` is the fake-quant simulation accuracy; since the
+    ``repro.infer`` engine landed, ``deployed_accuracy`` additionally
+    records what the compiled integer-only program scores on the same
+    test set (``None`` when the model cannot be compiled, e.g. >8-bit
+    weights, or for results serialized before the engine existed).
+    """
 
     trial_index: int
     genome: MixedPrecisionGenome
@@ -84,6 +91,7 @@ class FinalModelResult:
     gpu_hours: float
     candidate_accuracy: float    # the in-search accuracy it was picked on
     candidate_size_kb: Optional[float] = None
+    deployed_accuracy: Optional[float] = None
 
     def as_dict(self) -> Dict:
         data = asdict(self)
@@ -94,4 +102,7 @@ class FinalModelResult:
     def from_dict(cls, data: Dict) -> "FinalModelResult":
         data = dict(data)
         data["genome"] = genome_from_dict(data["genome"])
+        # fields postdating old result files default to None
+        data.setdefault("candidate_size_kb", None)
+        data.setdefault("deployed_accuracy", None)
         return cls(**data)

@@ -76,6 +76,23 @@ class InvertedBottleneck(Module):
         self.project_bn = BatchNorm2D(out_channels, name=f"{name}.proj_bn")
         self.use_residual = stride == 1 and in_channels == out_channels
 
+    def _residual_input(self, x: np.ndarray) -> np.ndarray:
+        """The value the skip connection adds.
+
+        Once the block's first convolution carries a frozen input
+        quantizer, the deployed integer engine can only read the
+        grid-clamped code of ``x`` — so the fake-quant reference must add
+        that same value, not the raw float.  Outlier activations beyond
+        the calibrated range would otherwise make the float residual
+        diverge unboundedly from any integer implementation.
+        """
+        first = self.expand.conv if self.expand is not None else \
+            self.depthwise
+        quantizer = first.input_quantizer
+        if quantizer is None or getattr(quantizer, "calibrating", True):
+            return x
+        return quantizer.fake_quant(x)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = x
         if self.expand is not None:
@@ -84,7 +101,7 @@ class InvertedBottleneck(Module):
             self.depthwise.forward(out)))
         out = self.project_bn.forward(self.project.forward(out))
         if self.use_residual:
-            out = out + x
+            out = out + self._residual_input(x)
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

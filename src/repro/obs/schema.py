@@ -110,15 +110,30 @@ def validate_events_file(path: Union[str, Path]) -> List[str]:
     return [f"{resolved}: {p}" for p in problems]
 
 
-def validate_bench(payload: Dict[str, Any]) -> List[str]:
+def _bench_contract(filename: str):
+    """(schema version, required record fields) for a ``BENCH_*`` file.
+
+    Each bench family owns its schema; the filename is the dispatch key
+    (``BENCH_infer.json`` → the inference-throughput log, everything else
+    → the parallel-engine log, the original family).
+    """
+    if filename.startswith("BENCH_infer"):
+        from ..infer.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
+    else:
+        from ..parallel.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
+    return BENCH_SCHEMA_VERSION, RECORD_FIELDS
+
+
+def validate_bench(payload: Dict[str, Any],
+                   filename: str = "BENCH_parallel.json") -> List[str]:
     """Validate a parsed ``BENCH_*.json`` payload."""
-    from ..parallel.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
+    schema_version, record_fields = _bench_contract(filename)
     problems: List[str] = []
     if not isinstance(payload, dict):
         return ["bench payload is not a JSON object"]
-    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+    if payload.get("schema") != schema_version:
         problems.append(f"schema {payload.get('schema')!r} != "
-                        f"{BENCH_SCHEMA_VERSION}")
+                        f"{schema_version}")
     runs = payload.get("runs")
     if not isinstance(runs, list):
         return problems + ["'runs' must be a list"]
@@ -126,7 +141,7 @@ def validate_bench(payload: Dict[str, Any]) -> List[str]:
         if not isinstance(run, dict):
             problems.append(f"run {index}: not a JSON object")
             continue
-        for field in RECORD_FIELDS:
+        for field in record_fields:
             if field not in run:
                 problems.append(f"run {index}: missing field {field!r}")
     return problems
@@ -138,7 +153,7 @@ def validate_bench_file(path: Union[str, Path]) -> List[str]:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: unreadable ({exc})"]
-    return [f"{path}: {p}" for p in validate_bench(payload)]
+    return [f"{path}: {p}" for p in validate_bench(payload, path.name)]
 
 
 def validate_path(path: Union[str, Path]) -> List[str]:

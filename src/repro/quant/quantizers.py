@@ -82,6 +82,14 @@ class WeightQuantizer:
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad
 
+    def scale_for(self, weights: np.ndarray) -> np.ndarray:
+        """The float64 scale(s) ``forward`` would quantize ``weights`` with.
+
+        Exposed so deployment (export, integer compilation) shares the
+        exact scale arithmetic of the fake-quant simulation.
+        """
+        return symmetric_scale(weights, self.bits, self.channel_axis)
+
     def num_scales(self, weights_shape: tuple) -> int:
         """Number of 32-bit scale constants this quantizer stores on disk."""
         if self.channel_axis is None:
@@ -90,6 +98,42 @@ class WeightQuantizer:
 
     def __repr__(self) -> str:
         return (f"WeightQuantizer(bits={self.bits}, "
+                f"channel_axis={self.channel_axis})")
+
+
+class FixedScaleWeightQuantizer(WeightQuantizer):
+    """A weight quantizer pinned to externally supplied scales.
+
+    Used when rebuilding a model from an exported container
+    (:func:`repro.quant.export.rebuild_into`): the stored float64 scales
+    are reused verbatim instead of being recomputed from the weights, so
+    quantization is idempotent — weights already on the grid round back to
+    the exact same integer codes, making the rebuilt model bit-identical
+    to the pre-export one.
+    """
+
+    def __init__(self, bits: int, channel_axis: Optional[int],
+                 scales: np.ndarray) -> None:
+        super().__init__(bits, channel_axis=channel_axis)
+        self.scales = np.asarray(scales, dtype=np.float64)
+
+    def scale_for(self, weights: np.ndarray) -> np.ndarray:
+        return self.scales
+
+    def forward(self, weights: np.ndarray) -> np.ndarray:
+        if self.bits >= 32:
+            return weights
+        qmax = 2 ** (self.bits - 1) - 1
+        scale = self.scales
+        if self.channel_axis is not None:
+            shape = [1] * weights.ndim
+            shape[self.channel_axis] = -1
+            scale = scale.reshape(shape)
+        q = np.clip(np.round(weights / scale), -qmax, qmax)
+        return (q * scale).astype(FLOAT)
+
+    def __repr__(self) -> str:
+        return (f"FixedScaleWeightQuantizer(bits={self.bits}, "
                 f"channel_axis={self.channel_axis})")
 
 
@@ -132,17 +176,29 @@ class ActivationQuantizer:
         zero_point = round(-lo / scale)
         return scale, float(zero_point)
 
+    def fake_quant(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quantize with the frozen grid, without touching any state.
+
+        Used for secondary consumers of an already-quantized tensor (the
+        residual path of an inverted bottleneck), which must see the same
+        grid-clamped value the deployed integer engine reads, without
+        double-feeding the observer or clobbering the STE mask.
+        """
+        if self.calibrating:
+            return x
+        scale, zero_point = self.quant_params()
+        n_levels = 2 ** self.bits - 1
+        q = np.clip(np.round(x / scale + zero_point), 0, n_levels)
+        return ((q - zero_point) * scale).astype(FLOAT)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.calibrating:
             self.observer.observe(x)
             self._mask = None
             return x
         lo, hi = self._range
-        scale, zero_point = self.quant_params()
-        n_levels = 2 ** self.bits - 1
         self._mask = (x >= lo) & (x <= hi)
-        q = np.clip(np.round(x / scale + zero_point), 0, n_levels)
-        return ((q - zero_point) * scale).astype(FLOAT)
+        return self.fake_quant(x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -1,0 +1,88 @@
+"""Inference-throughput bench: record shape, the ``BENCH_infer.json``
+schema contract, and the trajectory-script entry point."""
+
+import json
+
+import pytest
+
+from repro.infer.bench import (BENCH_SCHEMA_VERSION, RECORD_FIELDS,
+                               append_bench_record, measure_inference)
+from repro.obs.schema import validate_bench, validate_path
+
+
+@pytest.fixture(scope="module")
+def record():
+    """One tiny measurement — untrained model, 8 images, 8x8 inputs."""
+    return measure_inference(dataset="cifar10", bits=8, image_size=8,
+                             n_images=8, batch_size=8, seed=3,
+                             calibration_images=8)
+
+
+class TestMeasureInference:
+    def test_record_carries_every_contract_field(self, record):
+        for field in RECORD_FIELDS:
+            assert field in record, field
+
+    def test_record_values_sane(self, record):
+        assert record["n_images"] == 8
+        assert record["bits"] == 8
+        assert record["stages"] > 0
+        assert record["macs_per_image"] > 0
+        assert record["float_s"] >= 0 and record["int_s"] >= 0
+        assert 0.0 <= record["top1_agreement"] <= 1.0
+
+    def test_validates_under_infer_contract(self, record):
+        payload = {"schema": BENCH_SCHEMA_VERSION, "runs": [record]}
+        assert validate_bench(payload, "BENCH_infer.json") == []
+
+    def test_infer_record_fails_parallel_contract(self, record):
+        """The two bench families are distinct contracts: an infer record
+        must not silently pass as a parallel-engine record."""
+        payload = {"schema": BENCH_SCHEMA_VERSION, "runs": [record]}
+        assert validate_bench(payload, "BENCH_parallel.json")
+
+    def test_missing_field_flagged(self, record):
+        broken = {k: v for k, v in record.items() if k != "int_ips"}
+        payload = {"schema": BENCH_SCHEMA_VERSION, "runs": [broken]}
+        problems = validate_bench(payload, "BENCH_infer.json")
+        assert any("int_ips" in p for p in problems)
+
+    def test_wrong_schema_version_flagged(self, record):
+        payload = {"schema": 99, "runs": [record]}
+        assert validate_bench(payload, "BENCH_infer.json")
+
+
+class TestAppendAndValidatePath:
+    def test_append_creates_and_accumulates(self, record, tmp_path):
+        path = tmp_path / "BENCH_infer.json"
+        append_bench_record(path, record)
+        append_bench_record(path, record)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert len(payload["runs"]) == 2
+        # validate_path dispatches on the BENCH_infer filename
+        assert validate_path(path) == []
+
+    def test_unknown_extra_fields_are_kept(self, record, tmp_path):
+        path = tmp_path / "BENCH_infer.json"
+        append_bench_record(path, dict(record, commit="abc123"))
+        payload = json.loads(path.read_text())
+        assert payload["runs"][0]["commit"] == "abc123"
+        assert validate_path(path) == []
+
+
+class TestTrajectoryScript:
+    def test_infer_flag_appends_to_bench_log(self, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+        spec = importlib.util.spec_from_file_location(
+            "bench_trajectory",
+            Path(__file__).resolve().parents[2]
+            / "scripts/bench_trajectory.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        out = tmp_path / "BENCH_infer.json"
+        assert module.main(["--infer", "--n-images", "8",
+                            "--out", str(out)]) == 0
+        assert validate_path(out) == []
+        assert "appended to" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""End-to-end parity of the integer engine against the fake-quant
+reference, the no-float-on-hot-path contract, and obs instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.infer import check_parity, compile_model
+from repro.obs.trace import TraceRecorder, use_recorder
+
+
+class TestParity:
+    def test_homogeneous_8bit(self, model8, program8, infer_dataset):
+        """Every requant segment within its LSB budget, >= 99% top-1
+        agreement, on the full 256-image batch."""
+        report = check_parity(model8, program8, infer_dataset.x_train)
+        assert report.n_images == 256
+        for stage in report.stages:
+            assert stage.max_abs_diff <= stage.tolerance, report.format()
+        assert report.top1_agreement >= 0.99, report.format()
+        assert report.ok(min_agreement=0.99)
+
+    def test_teacher_forced_logits_near_exact(self, model8, program8,
+                                              infer_dataset):
+        """With reference input codes, the final dense accumulates exactly;
+        only float32-vs-float64 dequantization noise remains."""
+        report = check_parity(model8, program8, infer_dataset.x_train[:64])
+        assert report.max_logit_diff < 1e-3
+
+    def test_mixed_precision_policy(self, model_mixed, infer_dataset):
+        """The parity contract holds for a mixed {4..8}-bit policy too."""
+        program = compile_model(model_mixed,
+                                infer_dataset.x_train.shape[1],
+                                name="mixed")
+        report = check_parity(model_mixed, program, infer_dataset.x_train)
+        assert report.n_images == 256
+        assert report.ok(min_agreement=0.99), report.format()
+
+    def test_mismatched_model_rejected(self, model8, model_mixed,
+                                       infer_dataset):
+        size = infer_dataset.x_train.shape[1]
+        program = compile_model(model_mixed, size, name="mixed")
+        x = infer_dataset.x_train[:8]
+        # same architecture but different grids: budget must catch it, or
+        # at minimum the report must not silently claim perfection
+        report = check_parity(model8, program, x)
+        assert not report.ok() or report.top1_agreement < 1.0
+
+
+class TestNoFloatHotPath:
+    def test_run_never_matmuls_floats(self, program8, infer_dataset,
+                                      monkeypatch):
+        """Monkeypatch np.matmul to forbid float operands during run().
+
+        The only float arithmetic allowed is at the program boundary
+        (input quantize, dense dequantize) and neither uses matmul.
+        """
+        real_matmul = np.matmul
+        calls = []
+
+        def guarded(a, b, *args, **kwargs):
+            for operand in (a, b):
+                dtype = np.asarray(operand).dtype
+                if dtype.kind not in ("i", "u"):
+                    raise AssertionError(
+                        f"float matmul on the hot path: {dtype}")
+            calls.append(1)
+            return real_matmul(a, b, *args, **kwargs)
+
+        monkeypatch.setattr(np, "matmul", guarded)
+        logits = program8.run(infer_dataset.x_test[:32], batch_size=16)
+        assert logits.shape == (32, 10)
+        assert calls  # the guard actually saw the GEMMs
+
+    def test_guard_fires_on_float(self, monkeypatch):
+        """Sanity: the guard in the previous test is not a no-op."""
+        real_matmul = np.matmul
+
+        def guarded(a, b, *args, **kwargs):
+            for operand in (a, b):
+                if np.asarray(operand).dtype.kind not in ("i", "u"):
+                    raise AssertionError("float matmul")
+            return real_matmul(a, b, *args, **kwargs)
+
+        monkeypatch.setattr(np, "matmul", guarded)
+        with pytest.raises(AssertionError):
+            np.matmul(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestInstrumentation:
+    def test_spans_and_counters(self, program8, infer_dataset):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            program8.run(infer_dataset.x_test[:32], batch_size=16)
+        spans = [e for e in recorder.events if e.get("type") == "span"]
+        batch_spans = [s for s in spans if s["name"] == "infer.batch"]
+        assert len(batch_spans) == 2  # 32 images / batch 16
+        stage_spans = [s for s in spans if s["name"].startswith("infer.")
+                       and s["name"] != "infer.batch"]
+        # one span per stage per batch, tagged with the op kind
+        assert len(stage_spans) == 2 * len(program8.stages)
+        kinds = {s["tags"]["op"] for s in stage_spans}
+        assert {"conv", "dense", "gap"} <= kinds
+
+        counters = [e for e in recorder.events
+                    if e.get("type") == "counter"]
+        images = sum(c["value"] for c in counters
+                     if c["name"] == "infer.images")
+        assert images == 32
+        macs = sum(c["value"] for c in counters
+                   if c["name"] == "infer.macs")
+        assert macs == 32 * program8.total_macs()
+
+    def test_silent_without_recorder(self, program8, infer_dataset):
+        """With the null recorder, run() must not grow any event list."""
+        logits = program8.run(infer_dataset.x_test[:8], batch_size=8)
+        assert logits.shape == (8, 10)

@@ -1,0 +1,90 @@
+"""Unit tests for the fixed-point requantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infer import (quantize_multiplier, quantize_multipliers,
+                         requantize, rounding_doubling_high_mul,
+                         rounding_right_shift)
+
+
+class TestQuantizeMultiplier:
+    def test_reconstructs_multiplier(self):
+        for m in (0.5, 0.123456, 1.0, 1.7, 1e-6, 3.75, 2.0 ** -20):
+            q, shift = quantize_multiplier(m)
+            assert 2 ** 30 <= q < 2 ** 31
+            assert q * 2.0 ** (shift - 31) == pytest.approx(m, rel=2e-9)
+
+    def test_exact_powers_of_two(self):
+        for exp in (-8, -1, 0, 1, 5):
+            q, shift = quantize_multiplier(2.0 ** exp)
+            assert q == 2 ** 30
+            assert shift == exp + 1
+            assert q * 2.0 ** (shift - 31) == 2.0 ** exp
+
+    def test_degenerate_zero(self):
+        assert quantize_multiplier(0.0) == (0, 0)
+        assert quantize_multiplier(-1.0) == (0, 0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(float("inf"))
+        with pytest.raises(ValueError):
+            quantize_multiplier(float("nan"))
+
+    def test_vector_form_matches_scalar(self):
+        ms = np.array([0.25, 0.7, 1.3, 0.0, 1e-4])
+        qs, shifts = quantize_multipliers(ms)
+        for m, q, shift in zip(ms, qs, shifts):
+            assert (int(q), int(shift)) == quantize_multiplier(float(m))
+
+
+class TestRoundingPrimitives:
+    def test_high_mul_is_rounded_product(self):
+        x = np.array([0, 1, -1, 1000, -1000, 2 ** 30], dtype=np.int64)
+        q = (1 << 30) + 12345
+        # round-half-up(x*q / 2^31), in exact (Python int) arithmetic
+        expected = [(int(xi) * q + 2 ** 30) // 2 ** 31 for xi in x]
+        np.testing.assert_array_equal(rounding_doubling_high_mul(x, q),
+                                      expected)
+
+    def test_right_shift_rounds_half_up(self):
+        v = np.array([5, 6, 7, -5, -6, -7], dtype=np.int64)
+        np.testing.assert_array_equal(rounding_right_shift(v, 2),
+                                      [1, 2, 2, -1, -1, -2])
+
+    def test_right_shift_zero_is_identity(self):
+        v = np.array([3, -3], dtype=np.int64)
+        np.testing.assert_array_equal(rounding_right_shift(v, 0), v)
+
+    def test_right_shift_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rounding_right_shift(np.array([1]), -1)
+
+
+class TestRequantize:
+    def test_multiplier_one_is_exact(self):
+        """M = 1 (dead-BN-channel substitution) must be the identity."""
+        q, shift = quantize_multiplier(1.0)
+        acc = np.array([-1000, -1, 0, 1, 7, 123456], dtype=np.int64)
+        np.testing.assert_array_equal(requantize(acc, q, shift), acc)
+
+    @given(m=st.floats(1e-6, 8.0), acc=st.integers(-2 ** 24, 2 ** 24))
+    @settings(max_examples=200, deadline=None)
+    def test_within_one_lsb_of_float(self, m, acc):
+        """requantize(acc, M) stays within 1 of round(acc * M)."""
+        q, shift = quantize_multiplier(m)
+        got = int(requantize(np.array([acc], dtype=np.int64), q, shift)[0])
+        assert abs(got - round(acc * m)) <= 1
+
+    def test_per_channel_broadcast(self):
+        acc = np.ones((2, 3), dtype=np.int64) * 1024
+        qs, shifts = quantize_multipliers(np.array([0.5, 1.0, 2.0]))
+        out = requantize(acc, qs, shifts)
+        np.testing.assert_array_equal(out, [[512, 1024, 2048]] * 2)
+
+    def test_zero_multiplier_zeroes_output(self):
+        acc = np.array([123, -456], dtype=np.int64)
+        np.testing.assert_array_equal(requantize(acc, 0, 0), [0, 0])
