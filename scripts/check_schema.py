@@ -5,6 +5,11 @@ Checks run-directory JSONL event logs (``events.jsonl``), benchmark files
 (``BENCH_*.json``), and search checkpoints (``checkpoint.json``) with the
 validators dispatched by :mod:`repro.obs.schema`.
 
+``BENCH_infer.json`` is validated against schema version 2, which adds
+``arena_bytes`` / ``allocs_per_image`` (the planned executor's memory
+figures) and a ``host`` metadata block; runs recorded under schema 1 are
+migrated on the next append and carry ``null`` for the new fields.
+
 Usage::
 
     python scripts/check_schema.py               # all BENCH_*.json in repo root

@@ -333,6 +333,8 @@ def cmd_infer(args: argparse.Namespace) -> int:
                             name=Path(args.artifact).stem)
     reporter.emit(repr(program))
     reporter.emit(format_report(deployment_report(program)))
+    from .infer.plan import plan_arena
+    reporter.emit(plan_arena(program.stages).describe())
     x, y = artifact.test_set()
     if args.limit is not None:
         x, y = x[:args.limit], y[:args.limit]

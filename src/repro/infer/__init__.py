@@ -14,31 +14,38 @@ from .artifact import (ArtifactError, DeployableArtifact, artifact_from_bytes,
                        artifact_to_bytes, build_artifact, collect_bn_stats,
                        export_run, load_artifact, restore_bn_stats,
                        save_artifact)
-from .bench import (append_bench_record, default_bench_path,
+from .bench import (append_bench_record, default_bench_path, host_metadata,
                     measure_inference)
-from .compile import CompileError, Grid, Stage, compile_model
-from .engine import Program
+from .compile import CompileError, Grid, Stage, compile_model, finalize_stage
+from .engine import ArenaExecutor, Program
 from .kernels import (avg_pool_int, conv2d_int, dense_int,
                       depthwise_conv2d_int, global_avg_pool_int,
-                      max_pool_int)
+                      max_pool_int, set_check_dtypes)
 from .parity import ParityReport, StageParity, capture_reference, check_parity
+from .plan import (ArenaPlan, Interval, Slot, liveness_intervals, peak_liveness,
+                   plan_arena)
 from .report import (DeploymentReport, LayerCost, activation_liveness,
                      deployment_report, format_report)
-from .requant import (quantize_multiplier, quantize_multipliers, requantize,
-                      rounding_doubling_high_mul, rounding_right_shift)
+from .requant import (RequantPlan, quantize_multiplier, quantize_multipliers,
+                      requantize, requantize_into, rounding_doubling_high_mul,
+                      rounding_right_shift)
 
 __all__ = [
     "ArtifactError", "DeployableArtifact", "artifact_from_bytes",
     "artifact_to_bytes", "build_artifact", "collect_bn_stats", "export_run",
     "load_artifact", "restore_bn_stats", "save_artifact",
-    "append_bench_record", "default_bench_path", "measure_inference",
-    "CompileError", "Grid", "Stage", "compile_model",
-    "Program",
+    "append_bench_record", "default_bench_path", "host_metadata",
+    "measure_inference",
+    "CompileError", "Grid", "Stage", "compile_model", "finalize_stage",
+    "ArenaExecutor", "Program",
     "avg_pool_int", "conv2d_int", "dense_int", "depthwise_conv2d_int",
-    "global_avg_pool_int", "max_pool_int",
+    "global_avg_pool_int", "max_pool_int", "set_check_dtypes",
     "ParityReport", "StageParity", "capture_reference", "check_parity",
+    "ArenaPlan", "Interval", "Slot", "liveness_intervals", "peak_liveness",
+    "plan_arena",
     "DeploymentReport", "LayerCost", "activation_liveness",
     "deployment_report", "format_report",
-    "quantize_multiplier", "quantize_multipliers", "requantize",
-    "rounding_doubling_high_mul", "rounding_right_shift",
+    "RequantPlan", "quantize_multiplier", "quantize_multipliers",
+    "requantize", "requantize_into", "rounding_doubling_high_mul",
+    "rounding_right_shift",
 ]

@@ -6,15 +6,26 @@ integer engine (``Program.run``), checks their top-1 agreement, and
 returns a record in the stable ``BENCH_infer.json`` schema (validated by
 ``scripts/check_schema.py`` like the parallel-engine bench log).
 
-Schema (version 1)::
+Schema (version 2)::
 
-    {"schema": 1,
+    {"schema": 2,
      "runs": [{"timestamp": <iso8601>, "dataset": ..., "bits": ...,
                "image_size": ..., "n_images": ..., "batch_size": ...,
                "stages": ..., "macs_per_image": ...,
                "float_s": ..., "int_s": ...,
                "float_ips": ..., "int_ips": ..., "int_over_float": ...,
-               "top1_agreement": ...}]}
+               "top1_agreement": ...,
+               "arena_bytes": ..., "allocs_per_image": ...,
+               "host": {"platform": ..., "python": ..., "numpy": ...,
+                        "cpus": ...}}]}
+
+Version 2 appends the arena executor's memory figures (``arena_bytes``
+is the planned executor's total preallocated buffer footprint at the
+bench batch size; ``allocs_per_image`` counts hot-path ndarray
+allocations per image, 0 in steady state) and a ``host`` block so
+cross-machine ratios are interpretable.  Fields are only ever appended,
+never renamed, so version-1 readers still find everything they knew
+about; records predating v2 carry ``None`` for the new fields.
 """
 
 from __future__ import annotations
@@ -25,14 +36,33 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: record fields, in stable order (new fields are appended, never renamed)
 RECORD_FIELDS = (
     "timestamp", "dataset", "bits", "image_size", "n_images", "batch_size",
     "stages", "macs_per_image", "float_s", "int_s", "float_ips", "int_ips",
-    "int_over_float", "top1_agreement",
+    "int_over_float", "top1_agreement", "arena_bytes", "allocs_per_image",
+    "host",
 )
+
+#: fields added after schema 1 — old records carry None for these
+V2_FIELDS = ("arena_bytes", "allocs_per_image", "host")
+
+
+def host_metadata() -> Dict[str, Any]:
+    """The host facts that make a throughput ratio comparable."""
+    import os
+    import platform
+
+    import numpy as np
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+    }
 
 
 def default_bench_path() -> Path:
@@ -45,7 +75,12 @@ def default_bench_path() -> Path:
 
 
 def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
-    """Append one run record, creating or migrating the file as needed."""
+    """Append one run record, creating or migrating the file as needed.
+
+    A version-1 file is migrated in place: the schema stamp is bumped and
+    every pre-existing run gains the v2 fields as ``None`` (the data was
+    never measured, and readers must be able to rely on field presence).
+    """
     path = Path(path)
     payload: Dict[str, Any] = {"schema": BENCH_SCHEMA_VERSION, "runs": []}
     if path.exists():
@@ -53,6 +88,10 @@ def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
         if isinstance(existing, dict) and isinstance(
                 existing.get("runs"), list):
             payload["runs"] = existing["runs"]
+            for run in payload["runs"]:
+                if isinstance(run, dict):
+                    for field in V2_FIELDS:
+                        run.setdefault(field, None)
     ordered = {key: record.get(key) for key in RECORD_FIELDS}
     for key in record:
         if key not in ordered:
@@ -73,6 +112,10 @@ def measure_inference(dataset: str = "cifar10", bits: int = 8,
     quantized homogeneously at ``bits``, and PTQ-calibrated on synthetic
     images — weights need not be trained for a throughput measurement,
     and the untrained path keeps the bench fast and deterministic.
+
+    Both paths get one untimed warmup pass (the integer path's first run
+    builds the arena executor; the float path's first run pays numpy's
+    lazy BLAS setup) so the timed section measures steady state.
     """
     import numpy as np
 
@@ -101,6 +144,10 @@ def measure_inference(dataset: str = "cifar10", bits: int = 8,
     model.set_training(False)
     program = compile_model(model, int(x.shape[1]), name="bench")
 
+    warm = x[:batch_size]
+    model.forward(warm)
+    program.run(warm, batch_size=batch_size)
+
     start = time.perf_counter()
     float_logits = []
     for lo in range(0, x.shape[0], batch_size):
@@ -108,13 +155,15 @@ def measure_inference(dataset: str = "cifar10", bits: int = 8,
     float_logits = np.concatenate(float_logits, axis=0)
     float_s = time.perf_counter() - start
 
+    n = int(x.shape[0])
+    executor = program.executor(min(batch_size, max(n, 1)))
+    allocs_before = executor.runtime_allocs
     start = time.perf_counter()
     int_logits = program.run(x, batch_size=batch_size)
     int_s = time.perf_counter() - start
 
     agreement = float((np.argmax(int_logits, axis=1)
                        == np.argmax(float_logits, axis=1)).mean())
-    n = int(x.shape[0])
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
@@ -127,4 +176,8 @@ def measure_inference(dataset: str = "cifar10", bits: int = 8,
         "int_ips": round(n / int_s, 2) if int_s else None,
         "int_over_float": round(int_s / float_s, 3) if float_s else None,
         "top1_agreement": agreement,
+        "arena_bytes": int(executor.alloc_bytes),
+        "allocs_per_image": (executor.runtime_allocs - allocs_before) / n
+        if n else 0.0,
+        "host": host_metadata(),
     }

@@ -49,7 +49,7 @@ from ..nn.layers import (BatchNorm2D, Dense, Flatten, GlobalAvgPool2D,
                          ReLU, ReLU6)
 from ..nn.network import Sequential
 from ..nn.pooling import AvgPool2D, Dropout, MaxPool2D
-from .requant import quantize_multipliers
+from .requant import RequantPlan, quantize_multipliers
 
 INT32_MIN = -(2 ** 31)
 INT32_MAX = 2 ** 31 - 1
@@ -105,6 +105,60 @@ class Stage:
     weight_bits: int = 0
     weight_count: int = 0
     out_channels: int = 0
+    # -- fused execution plan (filled by finalize_stage) ---------------------
+    #: contraction-ready 2-D weight view ``(c*kh*kw, cout)`` (conv/dense)
+    w2d: Optional[np.ndarray] = None
+    #: ``bias_acc - in_zp * colsum(weight)``: folding the input zero point
+    #: into the bias lets the engine contract *raw* codes (padding with
+    #: ``in_zp``) instead of shifting every activation tensor first —
+    #: exactly equal mod 2**32, i.e. bit-identical under int32 arithmetic
+    bias_fused: Optional[np.ndarray] = None
+    #: fused requantization operands for the output multiplier set
+    rq: Optional[RequantPlan] = None
+    #: fused requantization operands for the residual multiplier
+    res_rq: Optional[RequantPlan] = None
+
+
+def finalize_stage(stage: Stage) -> Stage:
+    """Precompute the fused-execution operands of one stage, in place.
+
+    Everything the planned executor needs beyond the reference fields:
+    the weight reshaped once into its contraction layout, the input zero
+    point folded into the bias (``matmul(x - zp, w) == matmul(x, w) -
+    zp * colsum(w)`` exactly, including under int32 wraparound), and the
+    requantization multipliers decomposed into
+    :class:`~repro.infer.requant.RequantPlan` operand arrays.  Idempotent
+    and cheap; ``compile_model`` calls it eagerly, the executor calls it
+    defensively for hand-built programs.
+    """
+    if stage.rq is None and stage.mult is not None:
+        stage.rq = RequantPlan.build(stage.mult, stage.shift)
+    if stage.res_rq is None and stage.residual_from is not None:
+        stage.res_rq = RequantPlan.build(stage.res_mult, stage.res_shift)
+    if stage.bias_fused is None and stage.weight is not None:
+        w = stage.weight
+        if stage.kind == "conv":
+            kernel = w.shape[0]
+            cout = w.shape[3]
+            if kernel == 1:
+                stage.w2d = np.ascontiguousarray(
+                    w.reshape(w.shape[2], cout), dtype=np.int32)
+            else:
+                stage.w2d = np.ascontiguousarray(
+                    w.transpose(2, 0, 1, 3).reshape(-1, cout),
+                    dtype=np.int32)
+            colsum = w.sum(axis=(0, 1, 2), dtype=np.int64)
+        elif stage.kind == "dw":
+            colsum = w.sum(axis=(0, 1), dtype=np.int64)
+        else:  # dense
+            stage.w2d = np.ascontiguousarray(w, dtype=np.int32)
+            colsum = w.sum(axis=0, dtype=np.int64)
+        bias = (stage.bias_acc.astype(np.int64)
+                if stage.bias_acc is not None
+                else np.zeros_like(colsum))
+        stage.bias_fused = (bias - np.int64(stage.in_zp)
+                            * colsum).astype(np.int32)
+    return stage
 
 
 # -- intermediate units -------------------------------------------------------
@@ -371,6 +425,8 @@ def compile_model(model: Sequential, image_size: int,
             stages.append(_pool_stage(unit, grids[next_pos], in_shape))
         in_shape = stages[-1].out_shape
 
+    for stage in stages:
+        finalize_stage(stage)
     return Program(stages=stages, input_grid=grids[conv_positions[0]],
                    image_size=image_size, in_channels=in_channels,
                    name=name)

@@ -8,24 +8,415 @@ convolutions, bias adds, requantization, activation clamps, residual
 adds, pooling — is integer-only, which the parity suite enforces by
 monkeypatch-forbidding float ``np.matmul`` during execution.
 
+Two execution paths share the same compiled stages and produce
+bit-identical results (a property the test suite checks across policies,
+stage types and batch shapes):
+
+- :meth:`Program.run` / :meth:`Program.run_batch` — the **planned hot
+  path**.  An :class:`ArenaExecutor` places every inter-stage tensor at
+  a fixed offset in one preallocated int32 arena (liveness-planned by
+  :mod:`repro.infer.plan`), contracts raw codes with the input zero
+  point folded into the bias, gathers im2col patches into one reused
+  cache-blocked workspace, and applies requantize + zero-point add +
+  clamp as a single fused in-place pass.  Steady-state batches perform
+  no ndarray allocations.
+- :meth:`Program.run_stage` / :meth:`Program.run_range` — the
+  **fresh-allocation reference**, kept deliberately simple; the parity
+  harness teacher-forces segments through it.
+
 Execution is instrumented with :mod:`repro.obs`: a span per batch, a span
-per stage (op kind and output shape in the tags), and counters for images
-and MACs, so ``--trace`` runs produce a per-op time breakdown.
+per stage (op kind and output shape in the tags), and counters for
+images, MACs, fused-requant invocations, steady-state allocations, plus
+an ``infer.arena_bytes`` gauge when an executor is built.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from ..nn import functional as F
 from ..obs.trace import get_recorder
-from .compile import Grid, Stage
-from .kernels import (avg_pool_int, conv2d_int, dense_int,
+from .compile import Grid, Stage, finalize_stage
+from .kernels import (DEBUG_CHECKS, avg_pool_int, conv2d_int, dense_int,
                       depthwise_conv2d_int, global_avg_pool_int,
                       max_pool_int)
-from .requant import requantize
+from .plan import ArenaPlan, plan_arena
+from .requant import requantize, requantize_into
+
+#: im2col workspace target (KiB); bounds the cache-blocked GEMM tiles
+BLOCK_KB_ENV = "BOMP_INFER_BLOCK_KB"
+DEFAULT_BLOCK_KB = 512
+
+
+class ArenaExecutor:
+    """Allocation-free executor for one :class:`Program` at a fixed batch.
+
+    All buffers are allocated once at construction:
+
+    - ``acts`` — the liveness-planned int32 tensor arena (every slot's
+      per-image offset scaled by the batch size, so each tensor is a
+      contiguous zero-copy view);
+    - ``pad`` / ``col`` — shared padded-input and im2col workspaces,
+      sized to the largest cache block any stage needs;
+    - ``acc32`` — int32 scratch for depthwise taps and the classifier;
+    - ``work`` / ``work_res`` — the int64 workspaces of the fused
+      requantize+zero-point+clamp pass (block-sized, reused everywhere);
+    - ``fin`` / ``fout`` — float scratch for the two boundary steps.
+
+    Short final batches execute on prefix views of the same buffers.
+    """
+
+    def __init__(self, program: "Program", batch_size: int) -> None:
+        if not program.stages or program.stages[-1].kind != "dense":
+            raise ValueError(
+                "ArenaExecutor needs a program ending in a Dense "
+                "classifier (float logits output)")
+        self.program = program
+        self.batch = int(batch_size)
+        if self.batch < 1:
+            raise ValueError("batch size must be >= 1")
+        for stage in program.stages:
+            finalize_stage(stage)
+        self.plan: ArenaPlan = plan_arena(program.stages)
+        block_kb = int(os.environ.get(BLOCK_KB_ENV, DEFAULT_BLOCK_KB))
+        self._block_elems = max(1, block_kb * 1024 // 4)
+
+        self.alloc_count = 0          # buffer allocations (all at build)
+        self.alloc_bytes = 0
+        self.runtime_allocs = 0       # allocations after build — stays 0
+        self.fused_requant_calls = 0
+        self._built = False
+
+        self._records = [self._make_record(i, stage)
+                         for i, stage in enumerate(program.stages)]
+        self._allocate_buffers()
+        self._views: Dict[int, Dict[int, np.ndarray]] = {}
+        self._built = True
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.gauge("infer.arena_bytes", self.alloc_bytes)
+
+    # -- construction ---------------------------------------------------------
+    def _new(self, elems: int, dtype) -> np.ndarray:
+        buf = np.empty(max(int(elems), 0), dtype=dtype)
+        self.alloc_count += 1
+        self.alloc_bytes += buf.nbytes
+        if self._built:
+            self.runtime_allocs += 1
+        return buf
+
+    def _make_record(self, index: int, stage: Stage) -> Dict:
+        rec: Dict = {"stage": stage, "index": index,
+                     "in_value": index - 1, "out_value": index}
+        if stage.kind in ("conv", "dw"):
+            h, w, cin = stage.in_shape
+            ho, wo, cout = stage.out_shape
+            kernel = stage.weight.shape[0]
+            rec.update(kernel=kernel, stride=stage.stride,
+                       rows_per_image=ho * wo, cout=cout)
+            if kernel > 1 and stage.padding == "same":
+                pad_h = F.same_padding(h, kernel, stage.stride)
+                pad_w = F.same_padding(w, kernel, stage.stride)
+            else:
+                pad_h = pad_w = (0, 0)
+            rec["pad_h"], rec["pad_w"] = pad_h, pad_w
+            rec["padded_hw"] = (h + pad_h[0] + pad_h[1],
+                                w + pad_w[0] + pad_w[1])
+            rec["needs_pad"] = pad_h != (0, 0) or pad_w != (0, 0)
+            if stage.kind == "conv":
+                ckk = cin if kernel == 1 else stage.w2d.shape[0]
+                per_image = rec["rows_per_image"] * ckk
+                rec["ckk"] = ckk
+                rec["block_imgs"] = max(
+                    1, min(self.batch, self._block_elems // max(per_image,
+                                                               1)))
+        elif stage.kind in ("avgpool", "maxpool"):
+            rec["pool"] = stage.pool
+        return rec
+
+    def _allocate_buffers(self) -> None:
+        B = self.batch
+        pad = col = acc32 = work = work_res = 0
+        for rec in self._records:
+            stage = rec["stage"]
+            if stage.kind == "conv":
+                bi, rpi, cout = (rec["block_imgs"], rec["rows_per_image"],
+                                 rec["cout"])
+                if rec["kernel"] > 1 or rec["stride"] > 1:
+                    col = max(col, bi * rpi * rec["ckk"])
+                if rec["needs_pad"]:
+                    ph, pw = rec["padded_hw"]
+                    pad = max(pad, bi * ph * pw * stage.in_shape[2])
+                work = max(work, bi * rpi * cout)
+                if stage.residual_from is not None:
+                    work_res = max(work_res, bi * rpi * cout)
+            elif stage.kind == "dw":
+                rpi, cout = rec["rows_per_image"], rec["cout"]
+                if rec["needs_pad"]:
+                    ph, pw = rec["padded_hw"]
+                    pad = max(pad, B * ph * pw * stage.in_shape[2])
+                acc32 = max(acc32, B * rpi * cout)
+                rows = max(1, min(B * rpi,
+                                  self._block_elems // max(cout, 1)))
+                rec["block_rows"] = rows
+                work = max(work, rows * cout)
+                if stage.residual_from is not None:
+                    work_res = max(work_res, rows * cout)
+            elif stage.kind == "gap":
+                work = max(work, B * stage.out_shape[-1])
+            elif stage.kind == "avgpool":
+                work = max(work, B * int(np.prod(stage.out_shape)))
+            elif stage.kind == "dense":
+                classes = stage.out_shape[0]
+                acc32 = max(acc32, B * classes)
+                self._fout_elems = B * classes
+        in_elems = int(np.prod(self.program.stages[0].in_shape))
+        self.acts = self._new(self.plan.total_elems * B, np.int32)
+        self.pad = self._new(pad, np.int32)
+        self.col = self._new(col, np.int32)
+        self.acc32 = self._new(acc32, np.int32)
+        self.work = self._new(work, np.int64)
+        self.work_res = self._new(work_res, np.int64)
+        self.fin = self._new(B * in_elems, np.float32)
+        self.fout = self._new(self._fout_elems, np.float64)
+
+    def _views_for(self, n: int) -> Dict[int, np.ndarray]:
+        views = self._views.get(n)
+        if views is None:
+            B = self.batch
+            views = {
+                slot.value:
+                    self.acts[slot.offset * B:
+                              slot.offset * B + n * slot.elems]
+                    .reshape((n,) + slot.shape)
+                for slot in self.plan.slots.values()}
+            self._views[n] = views
+        return views
+
+    # -- execution ------------------------------------------------------------
+    def run_batch_into(self, x: np.ndarray, logits: np.ndarray) -> None:
+        """Execute one batch of float images into a float32 logits view."""
+        n = int(x.shape[0])
+        if n > self.batch:
+            raise ValueError(f"batch {n} exceeds planned capacity "
+                             f"{self.batch}")
+        views = self._views_for(n)
+        self._quantize_input(x, views[-1])
+        recorder = get_recorder()
+        for rec in self._records:
+            stage = rec["stage"]
+            if recorder.enabled:
+                with recorder.span(f"infer.{stage.name}", op=stage.kind,
+                                   out_shape=list(stage.out_shape)):
+                    self._exec(rec, views, n, logits)
+            else:
+                self._exec(rec, views, n, logits)
+
+    def _quantize_input(self, x: np.ndarray, codes: np.ndarray) -> None:
+        grid = self.program.input_grid
+        if x.dtype != np.float32:
+            # off the planned path: reproduce the reference dtype exactly
+            self.runtime_allocs += 1
+            np.copyto(codes, self.program.quantize_input(x))
+            return
+        scratch = self.fin[:x.size].reshape(x.shape)
+        np.divide(x, grid.scale, out=scratch)
+        np.add(scratch, grid.zero_point, out=scratch)
+        np.round(scratch, out=scratch)
+        np.clip(scratch, 0, grid.n_levels, out=scratch)
+        np.copyto(codes, scratch, casting="unsafe")
+
+    def _exec(self, rec: Dict, views: Dict[int, np.ndarray], n: int,
+              logits: np.ndarray) -> None:
+        stage = rec["stage"]
+        kind = stage.kind
+        if kind == "conv":
+            self._exec_conv(rec, views, n)
+        elif kind == "dw":
+            self._exec_dw(rec, views, n)
+        elif kind == "dense":
+            self._exec_dense(rec, views, n, logits)
+        elif kind == "gap":
+            self._exec_gap(rec, views, n)
+        elif kind == "avgpool":
+            self._exec_avgpool(rec, views, n)
+        elif kind == "maxpool":
+            self._exec_maxpool(rec, views, n)
+        elif kind == "flatten":
+            pass                      # aliased slot: pure reinterpretation
+        else:
+            raise ValueError(f"unknown stage kind {kind!r}")
+
+    def _requant_rows(self, stage: Stage, acc_rows: np.ndarray,
+                      saved_rows: Optional[np.ndarray]) -> None:
+        """Fused requantize + residual + zero point + clamp, in place.
+
+        Reads int32 accumulator rows, writes the final output codes back
+        into the same rows through the int64 workspace — bit-identical
+        to the reference's requantize/add/clip chain.
+        """
+        rows, cout = acc_rows.shape
+        work = self.work[:rows * cout].reshape(rows, cout)
+        requantize_into(acc_rows, stage.rq, work)
+        if saved_rows is not None:
+            work_res = self.work_res[:rows * cout].reshape(rows, cout)
+            np.subtract(saved_rows, stage.res_zp, out=work_res)
+            requantize_into(work_res, stage.res_rq, work_res)
+            np.add(work, work_res, out=work)
+        work += stage.out_zp
+        np.clip(work, stage.clamp_lo, stage.clamp_hi, out=acc_rows)
+        self.fused_requant_calls += 1
+
+    def _saved_rows(self, stage: Stage, views: Dict[int, np.ndarray],
+                    n: int, r0: int, r1: int) -> Optional[np.ndarray]:
+        if stage.residual_from is None:
+            return None
+        saved = views[stage.residual_from - 1]
+        if DEBUG_CHECKS and saved.dtype != np.int32:
+            raise TypeError(f"{stage.name}: residual input must be int32")
+        return saved.reshape(saved.shape[0] * int(
+            np.prod(saved.shape[1:-1])), saved.shape[-1])[r0:r1]
+
+    def _exec_conv(self, rec: Dict, views: Dict[int, np.ndarray],
+                   n: int) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        out = views[rec["out_value"]]
+        h, w, cin = stage.in_shape
+        rpi, ckk, cout = rec["rows_per_image"], rec["ckk"], rec["cout"]
+        kernel, stride = rec["kernel"], rec["stride"]
+        out2 = out.reshape(n * rpi, cout)
+        flat_in = (x.reshape(n * h * w, cin)
+                   if kernel == 1 and stride == 1 else None)
+        for i0 in range(0, n, rec["block_imgs"]):
+            i1 = min(n, i0 + rec["block_imgs"])
+            ni = i1 - i0
+            rows = ni * rpi
+            r0 = i0 * rpi
+            acc = out2[r0:r0 + rows]
+            if flat_in is not None:
+                lhs = flat_in[r0:r0 + rows]
+            elif kernel == 1:
+                block = self.col[:rows * ckk].reshape(
+                    ni, *stage.out_shape[:2], cin)
+                np.copyto(block, x[i0:i1, ::stride, ::stride, :])
+                lhs = block.reshape(rows, ckk)
+            else:
+                src = self._padded_block(rec, x, i0, i1)
+                windows = sliding_window_view(
+                    src, (kernel, kernel), axis=(1, 2))[:, ::stride,
+                                                        ::stride]
+                block = self.col[:rows * ckk].reshape(
+                    ni, *stage.out_shape[:2], cin, kernel, kernel)
+                np.copyto(block, windows)
+                lhs = block.reshape(rows, ckk)
+            np.matmul(lhs, stage.w2d, out=acc)
+            acc += stage.bias_fused
+            self._requant_rows(stage, acc,
+                               self._saved_rows(stage, views, n,
+                                                r0, r0 + rows))
+
+    def _padded_block(self, rec: Dict, x: np.ndarray, i0: int,
+                      i1: int) -> np.ndarray:
+        """Zero-point-padded input block in the shared pad workspace."""
+        if not rec["needs_pad"]:
+            return x[i0:i1]
+        stage = rec["stage"]
+        h, w, cin = stage.in_shape
+        ph, pw = rec["padded_hw"]
+        ni = i1 - i0
+        block = self.pad[:ni * ph * pw * cin].reshape(ni, ph, pw, cin)
+        block[...] = stage.in_zp      # raw-code padding == shifted zeros
+        (h0, _), (w0, _) = rec["pad_h"], rec["pad_w"]
+        block[:, h0:h0 + h, w0:w0 + w, :] = x[i0:i1]
+        return block
+
+    def _exec_dw(self, rec: Dict, views: Dict[int, np.ndarray],
+                 n: int) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        out = views[rec["out_value"]]
+        kernel, stride = rec["kernel"], rec["stride"]
+        rpi, cout = rec["rows_per_image"], rec["cout"]
+        ho, wo = stage.out_shape[:2]
+        src = self._padded_block(rec, x, 0, n)
+        span_h = (ho - 1) * stride + 1
+        span_w = (wo - 1) * stride + 1
+        tmp = self.acc32[:n * rpi * cout].reshape(n, ho, wo, cout)
+        first = True
+        for i in range(kernel):
+            for j in range(kernel):
+                window = src[:, i:i + span_h:stride,
+                             j:j + span_w:stride, :]
+                if first:
+                    np.multiply(window, stage.weight[i, j], out=out)
+                    first = False
+                else:
+                    np.multiply(window, stage.weight[i, j], out=tmp)
+                    out += tmp
+        acc2 = out.reshape(n * rpi, cout)
+        acc2 += stage.bias_fused
+        block_rows = rec["block_rows"]
+        for r0 in range(0, n * rpi, block_rows):
+            r1 = min(n * rpi, r0 + block_rows)
+            self._requant_rows(stage, acc2[r0:r1],
+                               self._saved_rows(stage, views, n, r0, r1))
+
+    def _exec_dense(self, rec: Dict, views: Dict[int, np.ndarray],
+                    n: int, logits: np.ndarray) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        classes = stage.out_shape[0]
+        acc = self.acc32[:n * classes].reshape(n, classes)
+        np.matmul(x, stage.w2d, out=acc)
+        acc += stage.bias_fused
+        scratch = self.fout[:n * classes].reshape(n, classes)
+        np.multiply(acc, stage.out_scale, out=scratch)
+        np.add(scratch, stage.out_bias, out=scratch)
+        np.copyto(logits, scratch, casting="same_kind")
+
+    def _exec_gap(self, rec: Dict, views: Dict[int, np.ndarray],
+                  n: int) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        out = views[rec["out_value"]]
+        count = x.shape[1] * x.shape[2]
+        work = self.work[:out.size].reshape(out.shape)
+        np.sum(x, axis=(1, 2), dtype=np.int64, out=work)
+        work += count // 2
+        np.floor_divide(work, count, out=work)
+        np.clip(work, stage.clamp_lo, stage.clamp_hi, out=out)
+
+    def _exec_avgpool(self, rec: Dict, views: Dict[int, np.ndarray],
+                      n: int) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        out = views[rec["out_value"]]
+        pool = rec["pool"]
+        ho, wo, c = stage.out_shape
+        tiles = x[:, :ho * pool, :wo * pool, :].reshape(
+            n, ho, pool, wo, pool, c)
+        work = self.work[:out.size].reshape(out.shape)
+        np.sum(tiles, axis=(2, 4), dtype=np.int64, out=work)
+        work += pool * pool // 2
+        np.floor_divide(work, pool * pool, out=work)
+        np.clip(work, stage.clamp_lo, stage.clamp_hi, out=out)
+
+    def _exec_maxpool(self, rec: Dict, views: Dict[int, np.ndarray],
+                      n: int) -> None:
+        stage = rec["stage"]
+        x = views[rec["in_value"]]
+        out = views[rec["out_value"]]
+        pool = rec["pool"]
+        ho, wo, c = stage.out_shape
+        tiles = x[:, :ho * pool, :wo * pool, :].reshape(
+            n, ho, pool, wo, pool, c)
+        tiles.max(axis=(2, 4), out=out)
 
 
 @dataclass
@@ -37,6 +428,8 @@ class Program:
     image_size: int
     in_channels: int
     name: str = "model"
+    _executors: Dict[int, ArenaExecutor] = field(default_factory=dict,
+                                                 repr=False, compare=False)
 
     def quantize_input(self, x: np.ndarray) -> np.ndarray:
         """Float images -> int32 input codes (the off-hot-path ADC step)."""
@@ -45,13 +438,23 @@ class Program:
                     0, grid.n_levels)
         return q.astype(np.int32)
 
+    def executor(self, batch_size: int) -> ArenaExecutor:
+        """The cached arena executor for ``batch_size``-image batches."""
+        executor = self._executors.get(batch_size)
+        if executor is None:
+            executor = ArenaExecutor(self, batch_size)
+            self._executors[batch_size] = executor
+        return executor
+
+    # -- fresh-allocation reference path --------------------------------------
     def run_stage(self, index: int, x: np.ndarray,
                   saved: Dict[int, np.ndarray]) -> np.ndarray:
         stage = self.stages[index]
         if stage.save_input:
             saved[index] = x
         if stage.kind in ("conv", "dw"):
-            shifted = x.astype(np.int32) - np.int32(stage.in_zp)
+            x32 = x if x.dtype == np.int32 else x.astype(np.int32)
+            shifted = x32 - np.int32(stage.in_zp)
             if stage.kind == "conv":
                 acc = conv2d_int(shifted, stage.weight, stage.stride,
                                  stage.padding)
@@ -61,14 +464,17 @@ class Program:
             acc += stage.bias_acc
             out = requantize(acc, stage.mult, stage.shift)
             if stage.residual_from is not None:
-                res = saved[stage.residual_from].astype(np.int32) \
-                    - np.int32(stage.res_zp)
+                res = saved[stage.residual_from]
+                if res.dtype != np.int32:
+                    res = res.astype(np.int32)
+                res = res - np.int32(stage.res_zp)
                 out = out + requantize(res, stage.res_mult, stage.res_shift)
             out = out + stage.out_zp
             return np.clip(out, stage.clamp_lo,
                            stage.clamp_hi).astype(np.int32)
         if stage.kind == "dense":
-            shifted = x.astype(np.int32) - np.int32(stage.in_zp)
+            x32 = x if x.dtype == np.int32 else x.astype(np.int32)
+            shifted = x32 - np.int32(stage.in_zp)
             acc = dense_int(shifted, stage.weight)
             # output dequantization: off the hot path by definition — the
             # program's result IS float logits
@@ -104,34 +510,51 @@ class Program:
             out = self.run_stage(index, out, saved)
         return out
 
+    def run_batch_reference(self, x: np.ndarray) -> np.ndarray:
+        """Float images -> float logits via the fresh-allocation path.
+
+        The bit-identity oracle for the arena executor; also the
+        fallback for programs that do not end in a Dense classifier.
+        """
+        return self.run_range(self.quantize_input(x), 0, len(self.stages))
+
+    # -- planned hot path -----------------------------------------------------
     def run_batch(self, x: np.ndarray) -> np.ndarray:
         """Float images -> float logits for one batch."""
-        recorder = get_recorder()
-        codes = self.quantize_input(x)
-        saved: Dict[int, np.ndarray] = {}
-        out = codes
-        for index, stage in enumerate(self.stages):
-            if recorder.enabled:
-                with recorder.span(f"infer.{stage.name}", op=stage.kind,
-                                   out_shape=list(stage.out_shape)):
-                    out = self.run_stage(index, out, saved)
-            else:
-                out = self.run_stage(index, out, saved)
-        return out
+        if self.stages[-1].kind != "dense":
+            return self.run_batch_reference(x)
+        n = int(x.shape[0])
+        logits = np.empty((n, self.stages[-1].out_shape[0]),
+                          dtype=np.float32)
+        self.executor(max(n, 1)).run_batch_into(x, logits)
+        return logits
 
     def run(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Float images -> float logits, batched."""
+        """Float images -> float logits, batched through the arena."""
+        if self.stages[-1].kind != "dense":
+            outputs = [self.run_batch_reference(x[s:s + batch_size])
+                       for s in range(0, x.shape[0], batch_size)]
+            return np.concatenate(outputs, axis=0)
         recorder = get_recorder()
-        outputs = []
-        for start in range(0, x.shape[0], batch_size):
+        n = int(x.shape[0])
+        executor = self.executor(min(batch_size, max(n, 1)))
+        logits = np.empty((n, self.stages[-1].out_shape[0]),
+                          dtype=np.float32)
+        fused_before = executor.fused_requant_calls
+        for start in range(0, n, batch_size):
             batch = x[start:start + batch_size]
             with recorder.span("infer.batch", images=int(batch.shape[0])):
-                outputs.append(self.run_batch(batch))
+                executor.run_batch_into(
+                    batch, logits[start:start + batch.shape[0]])
             if recorder.enabled:
                 recorder.counter("infer.images", int(batch.shape[0]))
                 recorder.counter("infer.macs",
                                  self.total_macs() * int(batch.shape[0]))
-        return np.concatenate(outputs, axis=0)
+        if recorder.enabled:
+            recorder.counter("infer.requant_fused",
+                             executor.fused_requant_calls - fused_before)
+            recorder.counter("infer.allocs", executor.runtime_allocs)
+        return logits
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Float images -> predicted class indices."""

@@ -15,6 +15,7 @@ integer kernels (the accumulator head-room proof lives in
 
 from __future__ import annotations
 
+import os
 from typing import Tuple
 
 import numpy as np
@@ -23,10 +24,33 @@ from ..nn import functional as F
 
 INT_KINDS = ("i", "u")
 
+#: dtype validation toggle.  The public kernels check by default (they
+#: accept arbitrary caller arrays); the planned executor owns every
+#: buffer it touches, so its hot path only validates when
+#: ``BOMP_INFER_DEBUG`` is set — validation cost must not pollute the
+#: throughput bench.
+CHECK_DTYPES = True
+
+#: extra hot-path validation (arena dtypes, shapes) in the executor
+DEBUG_CHECKS = bool(os.environ.get("BOMP_INFER_DEBUG"))
+
+
+def set_check_dtypes(enabled: bool) -> bool:
+    """Toggle kernel dtype validation; returns the previous setting."""
+    global CHECK_DTYPES
+    previous = CHECK_DTYPES
+    CHECK_DTYPES = bool(enabled)
+    return previous
+
 
 def _require_int(x: np.ndarray, who: str) -> None:
-    if x.dtype.kind not in INT_KINDS:
+    if CHECK_DTYPES and x.dtype.kind not in INT_KINDS:
         raise TypeError(f"{who}: expected integer array, got {x.dtype}")
+
+
+def _as_int32(x: np.ndarray) -> np.ndarray:
+    """int32 view of ``x`` — a copy only when the dtype actually differs."""
+    return x if x.dtype == np.int32 else x.astype(np.int32)
 
 
 def conv2d_int(x: np.ndarray, weight: np.ndarray, stride: int,
@@ -39,17 +63,18 @@ def conv2d_int(x: np.ndarray, weight: np.ndarray, stride: int,
     if kernel == 1:
         strided = x[:, ::stride, ::stride, :]
         n, ho, wo, c = strided.shape
-        out = np.matmul(strided.reshape(-1, c).astype(np.int32),
-                        weight.reshape(c, cout).astype(np.int32))
+        out = np.matmul(_as_int32(np.ascontiguousarray(strided)
+                                  .reshape(-1, c)),
+                        _as_int32(weight.reshape(c, cout)))
         return out.reshape(n, ho, wo, cout)
     padded, _, _ = F.pad_input(x, kernel, stride, padding)
     patches = F.extract_patches(padded, kernel, stride)
     n, ho, wo, c, kh, kw = patches.shape
     # flatten both operands in (c, kh, kw) order so rows line up
-    lhs = np.ascontiguousarray(patches).reshape(
-        n * ho * wo, c * kh * kw).astype(np.int32)
-    rhs = weight.transpose(2, 0, 1, 3).reshape(
-        c * kh * kw, cout).astype(np.int32)
+    lhs = _as_int32(np.ascontiguousarray(patches).reshape(
+        n * ho * wo, c * kh * kw))
+    rhs = _as_int32(weight.transpose(2, 0, 1, 3).reshape(
+        c * kh * kw, cout))
     return np.matmul(lhs, rhs).reshape(n, ho, wo, cout)
 
 
@@ -65,11 +90,11 @@ def depthwise_conv2d_int(x: np.ndarray, weight: np.ndarray, stride: int,
     span_h = (out_h - 1) * stride + 1
     span_w = (out_w - 1) * stride + 1
     out = np.zeros((x.shape[0], out_h, out_w, x.shape[3]), dtype=np.int32)
-    w32 = weight.astype(np.int32)
+    w32 = _as_int32(weight)
     for i in range(kernel):
         for j in range(kernel):
             window = padded[:, i:i + span_h:stride, j:j + span_w:stride, :]
-            out += window.astype(np.int32) * w32[i, j]
+            out += _as_int32(window) * w32[i, j]
     return out
 
 
@@ -77,7 +102,7 @@ def dense_int(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
     """Fully-connected: int32 (N, cin) x int32 (cin, cout)."""
     _require_int(x, "dense_int")
     _require_int(weight, "dense_int")
-    return np.matmul(x.astype(np.int32), weight.astype(np.int32))
+    return np.matmul(_as_int32(x), _as_int32(weight))
 
 
 def rounded_mean_int(x: np.ndarray, axis: Tuple[int, ...]) -> np.ndarray:

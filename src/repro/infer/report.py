@@ -30,6 +30,7 @@ import numpy as np
 from ..quant.apply import BIAS_BITS
 from ..quant.size import FLOAT_BITS
 from .engine import Program
+from .plan import peak_liveness, plan_arena
 
 #: stage kinds that carry weights
 _WEIGHT_KINDS = ("conv", "dw", "dense")
@@ -65,6 +66,8 @@ class DeploymentReport:
     overhead_bytes: int
     peak_activation_bytes: int
     peak_stage: str
+    #: host executor's packed int32 arena, per image (0 for legacy callers)
+    arena_int32_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -75,29 +78,14 @@ class DeploymentReport:
         return self.total_bytes / 1024
 
 
-def _tensor_bytes(shape: Tuple[int, ...]) -> int:
-    return int(np.prod(shape))      # one byte per INT8 element, batch 1
-
-
 def activation_liveness(program: Program) -> Tuple[int, str]:
-    """``(peak bytes, stage name)`` of live INT8 activations at batch 1."""
-    # residual lifetime: source stage index -> last consumer index
-    consumers = {}
-    for index, stage in enumerate(program.stages):
-        if stage.residual_from is not None:
-            previous = consumers.get(stage.residual_from, index)
-            consumers[stage.residual_from] = max(previous, index)
-    peak, peak_stage = 0, ""
-    for index, stage in enumerate(program.stages):
-        live = _tensor_bytes(stage.in_shape) + _tensor_bytes(stage.out_shape)
-        for source, last in consumers.items():
-            # the saved tensor is stage `source`'s input; during `source`
-            # itself it coincides with that stage's own input operand
-            if source < index <= last:
-                live += _tensor_bytes(program.stages[source].in_shape)
-        if live > peak:
-            peak, peak_stage = live, stage.name
-    return peak, peak_stage
+    """``(peak bytes, stage name)`` of live INT8 activations at batch 1.
+
+    Delegates to the arena planner's liveness analysis — the deployment
+    estimate (one byte per INT8 element) and the executor's arena layout
+    are the same intervals at different element widths.
+    """
+    return peak_liveness(program.stages)
 
 
 def deployment_report(program: Program) -> DeploymentReport:
@@ -122,7 +110,8 @@ def deployment_report(program: Program) -> DeploymentReport:
         total_macs=sum(layer.macs for layer in layers),
         weight_bytes=sum(layer.weight_bytes for layer in layers),
         overhead_bytes=sum(layer.overhead_bytes for layer in layers),
-        peak_activation_bytes=peak, peak_stage=peak_stage)
+        peak_activation_bytes=peak, peak_stage=peak_stage,
+        arena_int32_bytes=plan_arena(program.stages).arena_bytes(1))
 
 
 def format_report(report: DeploymentReport) -> str:
@@ -149,4 +138,8 @@ def format_report(report: DeploymentReport) -> str:
     lines.append(
         f"peak INT8 activation memory: {report.peak_activation_bytes} B "
         f"at {report.peak_stage} (batch 1, liveness)")
+    if report.arena_int32_bytes:
+        lines.append(
+            f"host tensor arena: {report.arena_int32_bytes} B/image "
+            f"(int32, liveness-packed)")
     return "\n".join(lines)

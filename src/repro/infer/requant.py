@@ -23,11 +23,15 @@ most one least-significant bit per requantization step.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Tuple, Union
 
 import numpy as np
 
 IntArray = np.ndarray
+
+#: the rounding constant of the doubling high-mul: ``+2**30`` before ``>>31``
+_HALF31 = np.int64(1 << 30)
 
 
 def quantize_multiplier(m: float) -> Tuple[int, int]:
@@ -51,11 +55,27 @@ def quantize_multiplier(m: float) -> Tuple[int, int]:
 
 
 def quantize_multipliers(ms: np.ndarray) -> Tuple[IntArray, IntArray]:
-    """Vector form of :func:`quantize_multiplier` for per-channel scales."""
-    qs = np.empty(len(ms), dtype=np.int64)
-    shifts = np.empty(len(ms), dtype=np.int64)
-    for i, m in enumerate(np.asarray(ms, dtype=np.float64)):
-        qs[i], shifts[i] = quantize_multiplier(float(m))
+    """Vector form of :func:`quantize_multiplier` for per-channel scales.
+
+    Fully vectorized (``np.frexp`` + half-even rounding, the exact
+    arithmetic of the scalar form) — element-wise identical to calling
+    :func:`quantize_multiplier` in a loop, which the test suite checks
+    over a wide multiplier sweep.
+    """
+    ms = np.asarray(ms, dtype=np.float64)
+    if not np.all(np.isfinite(ms)):
+        bad = ms[~np.isfinite(ms)][0]
+        raise ValueError(f"multiplier must be finite, got {bad}")
+    mant, exp = np.frexp(ms)           # m = mant * 2**exp, mant in [0.5, 1)
+    # np.round is round-half-even, exactly like the scalar form's round()
+    qs = np.round(mant * float(1 << 31)).astype(np.int64)
+    shifts = exp.astype(np.int64)
+    carried = qs == (1 << 31)          # mant rounded up to 1.0
+    qs[carried] >>= 1
+    shifts[carried] += 1
+    degenerate = ms <= 0.0
+    qs[degenerate] = 0
+    shifts[degenerate] = 0
     return qs, shifts
 
 
@@ -99,3 +119,54 @@ def requantize(acc: IntArray, q: Union[int, IntArray],
     pre = np.left_shift(acc.astype(np.int64), np.maximum(shift, 0))
     v = rounding_doubling_high_mul(pre, q)
     return rounding_right_shift(v, np.maximum(-shift, 0))
+
+
+@dataclass(frozen=True)
+class RequantPlan:
+    """Compile-time decomposition of a requantization multiplier set.
+
+    Splits every per-channel ``(q, shift)`` pair into the exact operands
+    the fused kernel needs at run time — the positive pre-shift, the
+    negative post-shift, and the post-shift's rounding constant — so the
+    hot path performs no ``maximum``/``where`` work and no int64
+    temporaries beyond its single reused workspace.
+    """
+
+    q: np.ndarray          # int64 mantissas
+    spos: np.ndarray       # int64 max(shift, 0) — pre-shift (left)
+    sneg: np.ndarray       # int64 max(-shift, 0) — post-shift (right)
+    half: np.ndarray       # int64 rounding constant of the post-shift
+    any_spos: bool         # skip the pre-shift pass when all zero
+
+    @classmethod
+    def build(cls, mult, shift) -> "RequantPlan":
+        q = np.asarray(mult, dtype=np.int64)
+        shift = np.asarray(shift, dtype=np.int64)
+        spos = np.maximum(shift, 0)
+        sneg = np.maximum(-shift, 0)
+        half = np.where(sneg > 0,
+                        np.left_shift(np.int64(1), np.maximum(sneg, 1) - 1),
+                        np.int64(0))
+        return cls(q=q, spos=spos, sneg=sneg, half=half,
+                   any_spos=bool(np.any(spos > 0)))
+
+
+def requantize_into(acc: IntArray, plan: RequantPlan,
+                    work: IntArray) -> IntArray:
+    """Fused, allocation-free :func:`requantize` into an int64 workspace.
+
+    Bit-identical to ``requantize(acc, q, shift)``: the pre-shift is
+    applied to the exact int64 product instead of the accumulator
+    (``(acc << s) * q == (acc * q) << s`` whenever the gemmlowp input
+    contract ``|acc << s| < 2**31`` holds), which lets every step run
+    in place on ``work``.  ``work`` must have ``acc``'s (broadcast)
+    shape; the caller adds the output zero point and clamps.
+    """
+    np.multiply(acc, plan.q, out=work)
+    if plan.any_spos:
+        np.left_shift(work, plan.spos, out=work)
+    work += _HALF31
+    np.right_shift(work, 31, out=work)
+    np.add(work, plan.half, out=work)
+    np.right_shift(work, plan.sneg, out=work)
+    return work

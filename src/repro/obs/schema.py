@@ -124,10 +124,45 @@ def _bench_contract(filename: str):
     return BENCH_SCHEMA_VERSION, RECORD_FIELDS
 
 
+#: required keys of the ``host`` block in a BENCH_infer v2 record
+INFER_HOST_FIELDS = ("platform", "python", "numpy", "cpus")
+
+
+def _validate_infer_run(index: int, run: Dict[str, Any]) -> List[str]:
+    """Typed checks for the v2 fields of one BENCH_infer record.
+
+    Records migrated from schema 1 carry ``None`` (the data was never
+    measured); fresh records must carry well-formed values.
+    """
+    problems: List[str] = []
+    arena = run.get("arena_bytes")
+    if arena is not None and (not isinstance(arena, int)
+                              or isinstance(arena, bool) or arena < 0):
+        problems.append(f"run {index}: arena_bytes must be a non-negative "
+                        f"integer or null, got {arena!r}")
+    allocs = run.get("allocs_per_image")
+    if allocs is not None and (not isinstance(allocs, (int, float))
+                               or isinstance(allocs, bool) or allocs < 0):
+        problems.append(f"run {index}: allocs_per_image must be a "
+                        f"non-negative number or null, got {allocs!r}")
+    host = run.get("host")
+    if host is not None:
+        if not isinstance(host, dict):
+            problems.append(f"run {index}: host must be an object or "
+                            f"null, got {host!r}")
+        else:
+            for field in INFER_HOST_FIELDS:
+                if field not in host:
+                    problems.append(f"run {index}: host missing field "
+                                    f"{field!r}")
+    return problems
+
+
 def validate_bench(payload: Dict[str, Any],
                    filename: str = "BENCH_parallel.json") -> List[str]:
     """Validate a parsed ``BENCH_*.json`` payload."""
     schema_version, record_fields = _bench_contract(filename)
+    infer_family = filename.startswith("BENCH_infer")
     problems: List[str] = []
     if not isinstance(payload, dict):
         return ["bench payload is not a JSON object"]
@@ -144,6 +179,8 @@ def validate_bench(payload: Dict[str, Any],
         for field in record_fields:
             if field not in run:
                 problems.append(f"run {index}: missing field {field!r}")
+        if infer_family:
+            problems.extend(_validate_infer_run(index, run))
     return problems
 
 

@@ -82,3 +82,9 @@ def model_mixed(c10_space, infer_dataset):
 def program8(model8, infer_dataset):
     return compile_model(model8, infer_dataset.x_train.shape[1],
                          name="model8")
+
+
+@pytest.fixture(scope="module")
+def program_mixed(model_mixed, infer_dataset):
+    return compile_model(model_mixed, infer_dataset.x_train.shape[1],
+                         name="model_mixed")

@@ -86,3 +86,44 @@ class TestTrajectoryScript:
                             "--out", str(out)]) == 0
         assert validate_path(out) == []
         assert "appended to" in capsys.readouterr().out
+
+
+class TestSchemaV2:
+    def test_record_carries_v2_fields(self, record):
+        assert record["arena_bytes"] > 0
+        assert record["allocs_per_image"] == 0
+        for field in ("platform", "python", "numpy", "cpus"):
+            assert field in record["host"]
+
+    def test_v1_file_is_migrated_on_append(self, record, tmp_path):
+        """Appending to a schema-1 file bumps the stamp and backfills the
+        v2 fields of pre-existing runs with null."""
+        from repro.infer.bench import V2_FIELDS
+        path = tmp_path / "BENCH_infer.json"
+        v1_run = {k: v for k, v in record.items() if k not in V2_FIELDS}
+        path.write_text(json.dumps({"schema": 1, "runs": [v1_run]}))
+        append_bench_record(path, record)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION == 2
+        assert len(payload["runs"]) == 2
+        migrated, fresh = payload["runs"]
+        for field in V2_FIELDS:
+            assert migrated[field] is None
+        assert fresh["arena_bytes"] == record["arena_bytes"]
+        from repro.obs.schema import validate_path
+        assert validate_path(path) == []
+
+    def test_bad_v2_values_flagged(self, record):
+        bad = dict(record, arena_bytes=-5, allocs_per_image="lots",
+                   host={"platform": "x"})
+        payload = {"schema": BENCH_SCHEMA_VERSION, "runs": [bad]}
+        problems = validate_bench(payload, "BENCH_infer.json")
+        assert any("arena_bytes" in p for p in problems)
+        assert any("allocs_per_image" in p for p in problems)
+        assert any("host missing" in p for p in problems)
+
+    def test_null_v2_values_accepted(self, record):
+        nulled = dict(record, arena_bytes=None, allocs_per_image=None,
+                      host=None)
+        payload = {"schema": BENCH_SCHEMA_VERSION, "runs": [nulled]}
+        assert validate_bench(payload, "BENCH_infer.json") == []

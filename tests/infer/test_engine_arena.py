@@ -1,0 +1,210 @@
+"""Arena-executor tests: bit-identity against the fresh-allocation
+reference across policies, stage types and batch shapes, plus the
+allocation-free steady-state contract and its observability counters."""
+
+import numpy as np
+import pytest
+
+from repro.infer import compile_model
+from repro.infer.engine import ArenaExecutor, Program
+from repro.nn.conv import Conv2D, DepthwiseConv2D
+from repro.nn.layers import BatchNorm2D, Dense, Flatten, ReLU, ReLU6
+from repro.nn.network import Sequential
+from repro.nn.pooling import AvgPool2D, MaxPool2D
+from repro.quant import QuantizationPolicy, apply_policy, calibrate
+
+
+def _tagged(layer, slot):
+    layer.quant_slot = slot
+    return layer
+
+
+@pytest.fixture(scope="module")
+def zoo_program():
+    """A stage zoo the search space never emits in one network: strided
+    same-pad conv, depthwise, avg/max pool, valid-pad conv, strided 1x1,
+    flatten — at mixed {4..8}-bit weights."""
+    rng = np.random.default_rng(21)
+    model = Sequential([
+        _tagged(Conv2D(3, 8, 3, stride=2, rng=rng, name="c1"), "a"),
+        BatchNorm2D(8, name="bn1"),
+        ReLU6(name="r1"),
+        AvgPool2D(2),
+        _tagged(DepthwiseConv2D(8, 3, rng=rng, name="dw"), "b"),
+        BatchNorm2D(8, name="bn2"),
+        ReLU(name="r2"),
+        MaxPool2D(2),
+        _tagged(Conv2D(8, 10, 2, padding="valid", use_bias=True,
+                       rng=rng, name="c2"), "c"),
+        _tagged(Conv2D(10, 12, 1, stride=2, rng=rng, name="c3"), "d"),
+        Flatten(),
+        _tagged(Dense(12, 10, rng=rng, name="fc"), "e"),
+    ])
+    model.layers[8].bias.data = rng.normal(0.0, 0.5, 10).astype(np.float32)
+    apply_policy(model, QuantizationPolicy(
+        {"a": 7, "b": 5, "c": 8, "d": 6, "e": 4}))
+    calibrate(model, rng.normal(size=(64, 16, 16, 3)).astype(np.float32))
+    model.set_training(False)
+    return compile_model(model, 16, name="zoo")
+
+
+def _reference(program, x, batch_size):
+    return np.concatenate(
+        [program.run_batch_reference(x[s:s + batch_size])
+         for s in range(0, x.shape[0], batch_size)])
+
+
+class TestBitIdentity:
+    """Arena execution must be bit-identical to the reference path."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 32, 96])
+    def test_program8(self, program8, infer_dataset, batch_size):
+        x = infer_dataset.x_train[:13 if batch_size < 16 else 256]
+        hot = program8.run(x, batch_size=batch_size)
+        np.testing.assert_array_equal(hot,
+                                      _reference(program8, x, batch_size))
+
+    @pytest.mark.parametrize("batch_size", [5, 64])
+    def test_mixed_policy(self, program_mixed, infer_dataset, batch_size):
+        x = infer_dataset.x_train[:160]
+        np.testing.assert_array_equal(
+            program_mixed.run(x, batch_size=batch_size),
+            _reference(program_mixed, x, batch_size))
+
+    @pytest.mark.parametrize("batch_size", [1, 4, 11, 64])
+    def test_stage_zoo(self, zoo_program, batch_size):
+        x = np.random.default_rng(3).normal(
+            size=(89, 16, 16, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            zoo_program.run(x, batch_size=batch_size),
+            _reference(zoo_program, x, batch_size))
+
+    def test_short_final_batch(self, program8, infer_dataset):
+        """256 images at batch 96 -> a 64-image tail on prefix views."""
+        x = infer_dataset.x_train
+        hot = program8.run(x, batch_size=96)
+        np.testing.assert_array_equal(hot, _reference(program8, x, 96))
+        assert 96 in program8._executors    # one executor serves the tail
+
+    def test_residual_coverage(self, program8, program_mixed):
+        """The fixtures genuinely exercise the residual-ADD fused path."""
+        for program in (program8, program_mixed):
+            assert any(stage.residual_from is not None
+                       for stage in program.stages)
+
+    def test_run_batch_matches_reference(self, program8, infer_dataset):
+        x = infer_dataset.x_train[:17]
+        np.testing.assert_array_equal(program8.run_batch(x),
+                                      program8.run_batch_reference(x))
+
+
+class TestAllocationFree:
+    """Steady-state batches perform zero ndarray allocations."""
+
+    def test_no_allocations_in_steady_state(self, program8, infer_dataset,
+                                            monkeypatch):
+        x = infer_dataset.x_train[:64]
+        executor = program8.executor(32)
+        logits = np.empty((32, 10), dtype=np.float32)
+        executor.run_batch_into(x[:32], logits)     # warm the view cache
+        executor.run_batch_into(x[:17], logits[:17])
+
+        counter = {"n": 0}
+
+        def counting(factory):
+            def wrapper(*args, **kwargs):
+                counter["n"] += 1
+                return factory(*args, **kwargs)
+            return wrapper
+
+        for name in ("empty", "zeros", "ones", "full", "pad",
+                     "concatenate", "ascontiguousarray", "copy"):
+            monkeypatch.setattr(np, name, counting(getattr(np, name)))
+        executor.run_batch_into(x[:32], logits)
+        executor.run_batch_into(x[32:49], logits[:17])
+        assert counter["n"] == 0
+        assert executor.runtime_allocs == 0
+
+    def test_executor_is_cached_and_buffers_fixed(self, program8,
+                                                  infer_dataset):
+        executor = program8.executor(24)
+        assert program8.executor(24) is executor
+        before = executor.alloc_count
+        x = infer_dataset.x_train[:24]
+        logits = np.empty((24, 10), dtype=np.float32)
+        executor.run_batch_into(x, logits)
+        executor.run_batch_into(x, logits)
+        assert executor.alloc_count == before
+
+    def test_arena_matches_plan(self, program8):
+        executor = program8.executor(16)
+        assert executor.acts.nbytes == executor.plan.arena_bytes(16)
+        assert executor.alloc_bytes >= executor.acts.nbytes
+
+
+class TestExecutorContract:
+    def test_batch_beyond_capacity_rejected(self, program8, infer_dataset):
+        executor = program8.executor(8)
+        logits = np.empty((9, 10), dtype=np.float32)
+        with pytest.raises(ValueError, match="exceeds"):
+            executor.run_batch_into(infer_dataset.x_train[:9], logits)
+
+    def test_requires_dense_tail(self, program8):
+        headless = Program(stages=program8.stages[:-1],
+                           input_grid=program8.input_grid,
+                           image_size=program8.image_size,
+                           in_channels=program8.in_channels,
+                           name="headless")
+        with pytest.raises(ValueError, match="Dense"):
+            ArenaExecutor(headless, 4)
+
+    def test_headless_program_falls_back(self, program8, infer_dataset):
+        """run()/run_batch() on a non-dense-tailed program still work,
+        via the reference path (int codes out)."""
+        headless = Program(stages=program8.stages[:-1],
+                           input_grid=program8.input_grid,
+                           image_size=program8.image_size,
+                           in_channels=program8.in_channels,
+                           name="headless")
+        x = infer_dataset.x_train[:7]
+        codes = headless.run(x, batch_size=4)
+        assert codes.dtype == np.int32
+        saved = {}
+        expected = headless.run_range(headless.quantize_input(x), 0,
+                                     len(headless.stages), saved)
+        np.testing.assert_array_equal(codes, expected)
+
+    def test_fused_requant_counted(self, program8, infer_dataset):
+        executor = program8.executor(16)
+        before = executor.fused_requant_calls
+        logits = np.empty((16, 10), dtype=np.float32)
+        executor.run_batch_into(infer_dataset.x_train[:16], logits)
+        requant_stages = [s for s in program8.stages
+                          if s.kind in ("conv", "dw")]
+        assert executor.fused_requant_calls - before >= len(requant_stages)
+
+
+class TestArenaObservability:
+    def test_run_emits_arena_counters(self, program8, infer_dataset):
+        from repro.obs.trace import TraceRecorder, use_recorder
+
+        # a fresh Program (same compiled stages, empty executor cache) so
+        # the executor-build gauge fires inside the recorded window
+        fresh = Program(stages=program8.stages,
+                        input_grid=program8.input_grid,
+                        image_size=program8.image_size,
+                        in_channels=program8.in_channels, name="obs")
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            fresh.run(infer_dataset.x_train[:32], batch_size=16)
+        gauges = [e for e in recorder.events if e.get("type") == "gauge"
+                  and e.get("name") == "infer.arena_bytes"]
+        assert gauges and gauges[0]["value"] > 0
+        fused = [e for e in recorder.events
+                 if e.get("type") == "counter"
+                 and e.get("name") == "infer.requant_fused"]
+        assert fused and sum(c["value"] for c in fused) > 0
+        allocs = [e for e in recorder.events
+                  if e.get("type") == "counter"
+                  and e.get("name") == "infer.allocs"]
+        assert allocs and all(c["value"] == 0 for c in allocs)

@@ -88,3 +88,80 @@ class TestRequantize:
     def test_zero_multiplier_zeroes_output(self):
         acc = np.array([123, -456], dtype=np.int64)
         np.testing.assert_array_equal(requantize(acc, 0, 0), [0, 0])
+
+
+class TestVectorScalarParity:
+    """quantize_multipliers must be element-wise identical to the scalar
+    decomposition over the whole multiplier range the compiler emits."""
+
+    def test_wide_sweep_matches_scalar(self):
+        rng = np.random.default_rng(17)
+        ms = np.concatenate([
+            np.geomspace(2.0 ** -40, 8.0, 1501),       # 48 octaves, dense
+            2.0 ** np.arange(-35.0, 4.0),              # exact powers of two
+            np.nextafter(2.0 ** np.arange(-20.0, 3.0), np.inf),
+            np.nextafter(2.0 ** np.arange(-20.0, 3.0), -np.inf),
+            rng.uniform(1e-9, 4.0, 500),               # typical M range
+            [0.0, -1.0, -0.25, 2.0 ** -45, 1.0 - 2.0 ** -53],
+        ])
+        qs, shifts = quantize_multipliers(ms)
+        for m, q, shift in zip(ms, qs, shifts):
+            assert (int(q), int(shift)) == quantize_multiplier(float(m)), m
+
+    def test_mantissa_range_invariant(self):
+        ms = np.geomspace(1e-12, 8.0, 4001)
+        qs, _ = quantize_multipliers(ms)
+        assert np.all(qs >= 2 ** 30) and np.all(qs < 2 ** 31)
+
+    def test_rejects_non_finite_vector(self):
+        with pytest.raises(ValueError):
+            quantize_multipliers(np.array([0.5, np.inf]))
+        with pytest.raises(ValueError):
+            quantize_multipliers(np.array([np.nan]))
+
+
+class TestRequantizeInto:
+    """The fused in-place kernel must match requantize() bit-for-bit."""
+
+    def _plan(self, ms):
+        from repro.infer.requant import RequantPlan
+        qs, shifts = quantize_multipliers(ms)
+        return RequantPlan.build(qs, shifts), qs, shifts
+
+    def test_matches_reference_per_channel(self):
+        from repro.infer.requant import requantize_into
+        rng = np.random.default_rng(5)
+        ms = np.concatenate([rng.uniform(1e-6, 0.9, 13), [1.0, 2.0, 3.5]])
+        plan, qs, shifts = self._plan(ms)
+        # respect the gemmlowp input contract |acc << spos| < 2**31:
+        # the largest positive pre-shift here is 2 (m = 3.5)
+        acc = rng.integers(-(2 ** 28), 2 ** 28,
+                           size=(64, ms.size)).astype(np.int32)
+        work = np.empty(acc.shape, dtype=np.int64)
+        got = requantize_into(acc, plan, work)
+        np.testing.assert_array_equal(
+            got, requantize(acc.astype(np.int64), qs, shifts))
+        assert got is work                     # truly in place
+
+    @given(m=st.floats(1e-6, 8.0), acc=st.integers(-2 ** 27, 2 ** 27))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_property(self, m, acc):
+        from repro.infer.requant import requantize_into
+        plan, qs, shifts = self._plan(np.array([m]))
+        accs = np.array([[acc]], dtype=np.int32)
+        work = np.empty((1, 1), dtype=np.int64)
+        got = int(requantize_into(accs, plan, work)[0, 0])
+        ref = int(requantize(accs.astype(np.int64), qs, shifts)[0, 0])
+        assert got == ref
+
+    def test_in_place_on_int64_residual_workspace(self):
+        """The residual path requantizes its own int64 workspace in
+        place (acc is work): must still match the reference."""
+        from repro.infer.requant import requantize_into
+        rng = np.random.default_rng(8)
+        ms = rng.uniform(1e-4, 1.5, 6)
+        plan, qs, shifts = self._plan(ms)
+        vals = rng.integers(-(2 ** 28), 2 ** 28, size=(32, 6))
+        work = vals.astype(np.int64)
+        got = requantize_into(work, plan, work)
+        np.testing.assert_array_equal(got, requantize(vals, qs, shifts))
