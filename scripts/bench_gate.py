@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Gate the bench trajectory: fail when the newest run regressed.
+
+Compares the newest record of each ``BENCH_*.json`` trajectory log
+against the best prior record with the same workload key and a
+compatible host fingerprint (see :mod:`repro.obs.gate`):
+
+- ``BENCH_infer.json``: integer-engine throughput ``int_ips``
+  (higher is better);
+- ``BENCH_parallel.json``: serial search wall-clock ``serial_s``
+  (lower is better) and, on multi-CPU hosts, ``speedup``.
+
+Usage::
+
+    python scripts/bench_gate.py                   # repo-root BENCH files
+    python scripts/bench_gate.py BENCH_infer.json --tolerance 0.05
+    python scripts/bench_gate.py --dry-run         # report, always exit 0
+
+Exits 1 when any gated metric is worse than its baseline by more than
+the tolerance, 0 otherwise (including when no comparable baseline
+exists — a new machine or a freshly migrated log must not fail CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.gate import DEFAULT_TOLERANCE, run_gate  # noqa: E402
+
+
+def default_targets() -> list:
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="BENCH_*.json files (default: repo root)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative slack before a change counts as a "
+                             "regression (default %(default)s)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report comparisons but always exit 0")
+    args = parser.parse_args(argv)
+    targets = [Path(p) for p in args.paths] or default_targets()
+    if not targets:
+        print("nothing to gate (no BENCH_*.json found)")
+        return 0
+    report = run_gate(targets, tolerance=args.tolerance)
+    print(report.describe())
+    regressions = report.regressions
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 0 if args.dry_run else 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

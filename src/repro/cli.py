@@ -14,11 +14,14 @@ Commands:
   artifact (see :mod:`repro.infer`).
 - ``infer``   — run the integer-only engine on an exported artifact:
   deployed accuracy, deployment cost report, optional parity check.
+- ``profile`` — hotspot table + flame SVG for a profiled run directory
+  (a search run with ``--profile`` / ``BOMP_PROFILE=1``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -97,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run directory for the event log (implies "
                              "--trace; default runs/<mode>-<dataset>-"
                              "<scale>-seed<seed>)")
+    search.add_argument("--profile", nargs="?", const="time",
+                        choices=("time", "alloc"), default=None,
+                        help="profile phase/kernel hot spots into the "
+                             "event log (implies --trace; 'alloc' adds "
+                             "tracemalloc peaks and ndarray allocation "
+                             "counts; never changes results)")
     search.add_argument("--quiet", action="store_true")
 
     report = commands.add_parser(
@@ -154,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--parity", action="store_true",
                        help="also run the parity harness against the "
                             "rebuilt fake-quant reference")
+
+    profile = commands.add_parser(
+        "profile",
+        help="hotspot table + flame SVG for a profiled run directory")
+    profile.add_argument("run_dir",
+                         help="traced+profiled run directory (or an "
+                              "events.jsonl path)")
+    profile.add_argument("--top", type=int, default=12,
+                         help="kernels shown in the hotspot table")
+    profile.add_argument("--svg-out", default=None,
+                         help="flame SVG path (default <run_dir>/"
+                              "flame.svg; 'none' to skip)")
     return parser
 
 
@@ -214,10 +235,17 @@ def cmd_search(args: argparse.Namespace) -> int:
                                            trial_timeout_s=timeout)
     nas = BOMPNAS(config, dataset, progress=progress)
     tracer = None
-    if args.trace or args.trace_dir:
+    if args.trace or args.trace_dir or args.profile:
         trace_dir = args.trace_dir or default_trace_dir(config)
         tracer = RunTracer(trace_dir)
         reporter.info(f"tracing to {tracer.path}")
+    from .obs.profile import PROFILE_ENV
+    saved_profile_env = os.environ.get(PROFILE_ENV)
+    if args.profile:
+        # the search loop reads BOMP_PROFILE when tracing is on, and the
+        # mode rides to pool workers through TrialSpec.profile
+        os.environ[PROFILE_ENV] = args.profile
+        reporter.info(f"profiling ({args.profile} mode)")
     try:
         result = nas.run(final_training=not args.no_final_training,
                          workers=workers, batch_size=args.trial_batch,
@@ -226,6 +254,11 @@ def cmd_search(args: argparse.Namespace) -> int:
                          resume_from=args.resume,
                          retry_policy=retry_policy, reporter=reporter)
     finally:
+        if args.profile:
+            if saved_profile_env is None:
+                os.environ.pop(PROFILE_ENV, None)
+            else:
+                os.environ[PROFILE_ENV] = saved_profile_env
         if tracer is not None:
             tracer.close()
     reporter.emit(result.summary())
@@ -235,6 +268,9 @@ def cmd_search(args: argparse.Namespace) -> int:
     if tracer is not None:
         reporter.emit(f"event log written to {tracer.path} "
                       f"(render with: repro report {tracer.run_dir})")
+        if args.profile:
+            reporter.emit(f"profile recorded (render with: repro profile "
+                          f"{tracer.run_dir})")
     return 0
 
 
@@ -350,6 +386,27 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
+    from .obs.profreport import flame_svg, load_profile, render_hotspots
+    path = Path(args.run_dir)
+    view = load_profile(path)
+    reporter.emit(f"profile - {view.source}")
+    reporter.emit(render_hotspots(view, top_n=args.top))
+    if not view.has_profile:
+        return 1
+    if args.svg_out != "none":
+        run_dir = path if path.is_dir() else path.parent
+        svg_path = Path(args.svg_out) if args.svg_out else \
+            run_dir / "flame.svg"
+        flame = flame_svg(view.events)
+        if flame is not None:
+            svg_path.parent.mkdir(parents=True, exist_ok=True)
+            svg_path.write_text(flame)
+            reporter.emit(f"flame SVG written to {svg_path}")
+    return 0
+
+
 COMMANDS = {
     "search": cmd_search,
     "report": cmd_report,
@@ -357,6 +414,7 @@ COMMANDS = {
     "space": cmd_space,
     "export": cmd_export,
     "infer": cmd_infer,
+    "profile": cmd_profile,
 }
 
 

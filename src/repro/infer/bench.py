@@ -51,18 +51,14 @@ V2_FIELDS = ("arena_bytes", "allocs_per_image", "host")
 
 
 def host_metadata() -> Dict[str, Any]:
-    """The host facts that make a throughput ratio comparable."""
-    import os
-    import platform
+    """The host facts that make a throughput ratio comparable.
 
-    import numpy as np
-
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "cpus": os.cpu_count(),
-    }
+    Delegates to the shared :mod:`repro.obs.host` fingerprint (v2 adds
+    the CPU model on top of the original four keys; appending keys keeps
+    the contract).
+    """
+    from ..obs.host import host_metadata as shared_host_metadata
+    return shared_host_metadata()
 
 
 def default_bench_path() -> Path:

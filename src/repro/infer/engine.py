@@ -40,6 +40,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..nn import functional as F
+from ..obs import profile as prof
 from ..obs.trace import get_recorder
 from .compile import Grid, Stage, finalize_stage
 from .kernels import (DEBUG_CHECKS, avg_pool_int, conv2d_int, dense_int,
@@ -218,39 +219,41 @@ class ArenaExecutor:
                 self._exec(rec, views, n, logits)
 
     def _quantize_input(self, x: np.ndarray, codes: np.ndarray) -> None:
-        grid = self.program.input_grid
-        if x.dtype != np.float32:
-            # off the planned path: reproduce the reference dtype exactly
-            self.runtime_allocs += 1
-            np.copyto(codes, self.program.quantize_input(x))
-            return
-        scratch = self.fin[:x.size].reshape(x.shape)
-        np.divide(x, grid.scale, out=scratch)
-        np.add(scratch, grid.zero_point, out=scratch)
-        np.round(scratch, out=scratch)
-        np.clip(scratch, 0, grid.n_levels, out=scratch)
-        np.copyto(codes, scratch, casting="unsafe")
+        with prof.kernel("infer.quantize_input"):
+            grid = self.program.input_grid
+            if x.dtype != np.float32:
+                # off the planned path: reproduce the reference dtype exactly
+                self.runtime_allocs += 1
+                np.copyto(codes, self.program.quantize_input(x))
+                return
+            scratch = self.fin[:x.size].reshape(x.shape)
+            np.divide(x, grid.scale, out=scratch)
+            np.add(scratch, grid.zero_point, out=scratch)
+            np.round(scratch, out=scratch)
+            np.clip(scratch, 0, grid.n_levels, out=scratch)
+            np.copyto(codes, scratch, casting="unsafe")
 
     def _exec(self, rec: Dict, views: Dict[int, np.ndarray], n: int,
               logits: np.ndarray) -> None:
         stage = rec["stage"]
         kind = stage.kind
-        if kind == "conv":
-            self._exec_conv(rec, views, n)
-        elif kind == "dw":
-            self._exec_dw(rec, views, n)
-        elif kind == "dense":
-            self._exec_dense(rec, views, n, logits)
-        elif kind == "gap":
-            self._exec_gap(rec, views, n)
-        elif kind == "avgpool":
-            self._exec_avgpool(rec, views, n)
-        elif kind == "maxpool":
-            self._exec_maxpool(rec, views, n)
-        elif kind == "flatten":
-            pass                      # aliased slot: pure reinterpretation
-        else:
-            raise ValueError(f"unknown stage kind {kind!r}")
+        with prof.kernel("infer." + kind):
+            if kind == "conv":
+                self._exec_conv(rec, views, n)
+            elif kind == "dw":
+                self._exec_dw(rec, views, n)
+            elif kind == "dense":
+                self._exec_dense(rec, views, n, logits)
+            elif kind == "gap":
+                self._exec_gap(rec, views, n)
+            elif kind == "avgpool":
+                self._exec_avgpool(rec, views, n)
+            elif kind == "maxpool":
+                self._exec_maxpool(rec, views, n)
+            elif kind == "flatten":
+                pass                  # aliased slot: pure reinterpretation
+            else:
+                raise ValueError(f"unknown stage kind {kind!r}")
 
     def _requant_rows(self, stage: Stage, acc_rows: np.ndarray,
                       saved_rows: Optional[np.ndarray]) -> None:

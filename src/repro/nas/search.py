@@ -39,6 +39,7 @@ from ..nn.network import Sequential
 from ..nn.optim import SGD, Adam, CosineDecayLR, Optimizer
 from ..nn.serialization import load_state_dict, state_dict
 from ..nn.trainer import Trainer
+from ..obs import profile
 from ..obs.console import ConsoleReporter
 from ..obs.trace import RunTracer, get_recorder, use_recorder
 from ..parallel.engine import (DEFAULT_TRIAL_BATCH, RetryPolicy, TrialEngine,
@@ -360,7 +361,16 @@ class BOMPNAS:
         """
         from .final_training import train_final_models  # cycle guard
         recorder = tracer.recorder if tracer is not None else get_recorder()
-        with use_recorder(recorder):
+        # honour BOMP_PROFILE when traced and no profiler was installed by
+        # the caller; either way the active profiler is flushed into the
+        # trace when the run span closes (and per trial by the engine)
+        profiler = None
+        if recorder.enabled and profile.current() is None:
+            profile_mode = profile.mode_from_env()
+            if profile_mode is not None:
+                profiler = profile.KernelProfiler(profile_mode)
+        with use_recorder(recorder), profile.use_profiler(
+                profiler if profiler is not None else profile.current()):
             optimizer = self.make_optimizer()
             per_candidate = self.config.policies_per_trial
             total = self.config.scale.trials
@@ -405,7 +415,8 @@ class BOMPNAS:
                             specs.append(TrialSpec(
                                 index=index, genome=genome,
                                 seed=trial_seed(self.config.seed, index),
-                                trace=recorder.enabled))
+                                trace=recorder.enabled,
+                                profile=profile.current_mode()))
                         for batch in engine.evaluate(specs):
                             for result in batch:
                                 optimizer.tell(result.genome, result.score)
@@ -422,4 +433,9 @@ class BOMPNAS:
                     with recorder.span("final_training", kind="phase"):
                         result.final_models = train_final_models(
                             self, result.pareto_trials())
+            # run-level profile stats (final training, out-of-trial work);
+            # per-trial stats were flushed by the engine with trial indices
+            active_profiler = profile.current()
+            if active_profiler is not None and recorder.enabled:
+                active_profiler.flush_to(recorder)
         return result

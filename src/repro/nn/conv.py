@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import profile as prof
 from . import functional as F
 from .initializers import he_normal, zeros
 from .module import FLOAT, Module, Parameter
@@ -86,51 +87,58 @@ class Conv2D(Module):
         return self.weight.data
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.shape[3] != self.in_channels:
-            raise ValueError(
-                f"{self.name}: expected {self.in_channels} input channels, "
-                f"got {x.shape[3]}")
-        if self.input_quantizer is not None:
-            x = self.input_quantizer.forward(x)
-        weight = self._effective_weight()
-        if self.kernel == 1:
-            # 1x1 convolution: a per-pixel channel mix -> one BLAS matmul.
-            # This is the fast path for the expand/project/head convs that
-            # dominate MobileNetV2 compute.
-            strided = x[:, ::self.stride, ::self.stride, :]
-            n, ho, wo, c = strided.shape
-            out = strided.reshape(-1, c) @ weight.reshape(c, -1)
-            out = out.reshape(n, ho, wo, self.out_channels)
-            # stride==1 backward never scatters into a zero tensor, so
-            # there is no need to keep the input shape alive in the cache
-            shape = None if self.stride == 1 else x.shape
-            self._cache = ("1x1", strided, weight, shape)
-        else:
-            padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
-                                               self.padding)
-            patches = F.extract_patches(padded, self.kernel, self.stride)
-            out = _cached_einsum("nhwcij,ijcf->nhwf", patches, weight)
-            self._cache = ("kxk", patches, padded.shape, pad_h, pad_w,
-                           weight)
-        out = out.astype(FLOAT, copy=False)
-        if self.bias is not None:
-            out = out + self.bias.data
-        return out
+        with prof.kernel("nn.conv2d.fwd"):
+            if x.shape[3] != self.in_channels:
+                raise ValueError(
+                    f"{self.name}: expected {self.in_channels} input "
+                    f"channels, got {x.shape[3]}")
+            if self.input_quantizer is not None:
+                x = self.input_quantizer.forward(x)
+            weight = self._effective_weight()
+            if self.kernel == 1:
+                # 1x1 convolution: a per-pixel channel mix -> one BLAS
+                # matmul.  This is the fast path for the expand/project/head
+                # convs that dominate MobileNetV2 compute.
+                with prof.kernel("nn.conv2d.matmul"):
+                    strided = x[:, ::self.stride, ::self.stride, :]
+                    n, ho, wo, c = strided.shape
+                    out = strided.reshape(-1, c) @ weight.reshape(c, -1)
+                    out = out.reshape(n, ho, wo, self.out_channels)
+                # stride==1 backward never scatters into a zero tensor, so
+                # there is no need to keep the input shape alive in the cache
+                shape = None if self.stride == 1 else x.shape
+                self._cache = ("1x1", strided, weight, shape)
+            else:
+                with prof.kernel("nn.conv2d.im2col"):
+                    padded, pad_h, pad_w = F.pad_input(
+                        x, self.kernel, self.stride, self.padding)
+                    patches = F.extract_patches(padded, self.kernel,
+                                                self.stride)
+                with prof.kernel("nn.conv2d.matmul"):
+                    out = _cached_einsum("nhwcij,ijcf->nhwf", patches, weight)
+                self._cache = ("kxk", patches, padded.shape, pad_h, pad_w,
+                               weight)
+            out = out.astype(FLOAT, copy=False)
+            if self.bias is not None:
+                out = out + self.bias.data
+            return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        grad = grad.astype(FLOAT, copy=False)
-        if self.bias is not None:
-            self.bias.accumulate_grad(grad.sum(axis=(0, 1, 2)))
-        if self._cache[0] == "1x1":
-            dx = self._backward_1x1(grad)
-        else:
-            dx = self._backward_kxk(grad)
-        if self.input_quantizer is not None:
-            dx = self.input_quantizer.backward(dx)
-        self._cache = None
-        return dx
+        with prof.kernel("nn.conv2d.bwd"):
+            if self._cache is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            grad = grad.astype(FLOAT, copy=False)
+            if self.bias is not None:
+                self.bias.accumulate_grad(grad.sum(axis=(0, 1, 2)))
+            if self._cache[0] == "1x1":
+                dx = self._backward_1x1(grad)
+            else:
+                dx = self._backward_kxk(grad)
+            if self.input_quantizer is not None:
+                dx = self.input_quantizer.backward(dx)
+            self._cache = None
+            return dx
 
     def _backward_1x1(self, grad: np.ndarray) -> np.ndarray:
         _, strided, weight, x_shape = self._cache
@@ -214,57 +222,61 @@ class DepthwiseConv2D(Module):
         return self.weight.data
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.shape[3] != self.channels:
-            raise ValueError(
-                f"{self.name}: expected {self.channels} channels, "
-                f"got {x.shape[3]}")
-        if self.input_quantizer is not None:
-            x = self.input_quantizer.forward(x)
-        padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
-                                           self.padding)
-        weight = self._effective_weight()
-        # shift-and-add formulation: k^2 strided slices of the padded input
-        # each scaled by one kernel tap.  Never materializes the
-        # (N, Ho, Wo, C, k, k) patch tensor, which for wide CIFAR-100
-        # candidates would be gigabytes.
-        out_h = F.conv_output_size(x.shape[1], self.kernel, self.stride,
-                                   self.padding)
-        out_w = F.conv_output_size(x.shape[2], self.kernel, self.stride,
-                                   self.padding)
-        span_h = (out_h - 1) * self.stride + 1
-        span_w = (out_w - 1) * self.stride + 1
-        out = np.zeros((x.shape[0], out_h, out_w, self.channels),
-                       dtype=FLOAT)
-        for i in range(self.kernel):
-            for j in range(self.kernel):
-                window = padded[:, i:i + span_h:self.stride,
-                                j:j + span_w:self.stride, :]
-                out += window * weight[i, j]
-        self._cache = (padded, (span_h, span_w), pad_h, pad_w, weight)
-        return out
+        with prof.kernel("nn.dwconv.fwd"):
+            if x.shape[3] != self.channels:
+                raise ValueError(
+                    f"{self.name}: expected {self.channels} channels, "
+                    f"got {x.shape[3]}")
+            if self.input_quantizer is not None:
+                x = self.input_quantizer.forward(x)
+            padded, pad_h, pad_w = F.pad_input(x, self.kernel, self.stride,
+                                               self.padding)
+            weight = self._effective_weight()
+            # shift-and-add formulation: k^2 strided slices of the padded
+            # input each scaled by one kernel tap.  Never materializes the
+            # (N, Ho, Wo, C, k, k) patch tensor, which for wide CIFAR-100
+            # candidates would be gigabytes.
+            out_h = F.conv_output_size(x.shape[1], self.kernel, self.stride,
+                                       self.padding)
+            out_w = F.conv_output_size(x.shape[2], self.kernel, self.stride,
+                                       self.padding)
+            span_h = (out_h - 1) * self.stride + 1
+            span_w = (out_w - 1) * self.stride + 1
+            out = np.zeros((x.shape[0], out_h, out_w, self.channels),
+                           dtype=FLOAT)
+            for i in range(self.kernel):
+                for j in range(self.kernel):
+                    window = padded[:, i:i + span_h:self.stride,
+                                    j:j + span_w:self.stride, :]
+                    out += window * weight[i, j]
+            self._cache = (padded, (span_h, span_w), pad_h, pad_w, weight)
+            return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        padded, (span_h, span_w), pad_h, pad_w, weight = self._cache
-        grad = grad.astype(FLOAT, copy=False)
-        dweight = np.zeros_like(self.weight.data)
-        dx_padded = np.zeros(padded.shape, dtype=FLOAT)
-        for i in range(self.kernel):
-            for j in range(self.kernel):
-                window = padded[:, i:i + span_h:self.stride,
-                                j:j + span_w:self.stride, :]
-                dweight[i, j] = (window * grad).sum(axis=(0, 1, 2))
-                dx_padded[:, i:i + span_h:self.stride,
-                          j:j + span_w:self.stride, :] += grad * weight[i, j]
-        if self.weight_quantizer is not None:
-            dweight = self.weight_quantizer.backward(dweight)
-        self.weight.accumulate_grad(dweight)
-        dx = F.crop_padding(dx_padded, pad_h, pad_w)
-        if self.input_quantizer is not None:
-            dx = self.input_quantizer.backward(dx)
-        self._cache = None
-        return dx
+        with prof.kernel("nn.dwconv.bwd"):
+            if self._cache is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            padded, (span_h, span_w), pad_h, pad_w, weight = self._cache
+            grad = grad.astype(FLOAT, copy=False)
+            dweight = np.zeros_like(self.weight.data)
+            dx_padded = np.zeros(padded.shape, dtype=FLOAT)
+            for i in range(self.kernel):
+                for j in range(self.kernel):
+                    window = padded[:, i:i + span_h:self.stride,
+                                    j:j + span_w:self.stride, :]
+                    dweight[i, j] = (window * grad).sum(axis=(0, 1, 2))
+                    dx_padded[:, i:i + span_h:self.stride,
+                              j:j + span_w:self.stride, :] += (grad
+                                                               * weight[i, j])
+            if self.weight_quantizer is not None:
+                dweight = self.weight_quantizer.backward(dweight)
+            self.weight.accumulate_grad(dweight)
+            dx = F.crop_padding(dx_padded, pad_h, pad_w)
+            if self.input_quantizer is not None:
+                dx = self.input_quantizer.backward(dx)
+            self._cache = None
+            return dx
 
     def __repr__(self) -> str:
         return (f"DepthwiseConv2D(c={self.channels}, k={self.kernel}, "

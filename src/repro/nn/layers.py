@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import profile as prof
 from .initializers import glorot_uniform, ones, zeros
 from .module import FLOAT, Module, Parameter
 
@@ -54,35 +55,38 @@ class Dense(Module):
         return self.weight.data
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 2 or x.shape[1] != self.in_features:
-            raise ValueError(
-                f"{self.name}: expected (N, {self.in_features}), "
-                f"got {x.shape}")
-        if self.input_quantizer is not None:
-            x = self.input_quantizer.forward(x)
-        weight = self._effective_weight()
-        out = x @ weight
-        if self.bias is not None:
-            out = out + self.bias.data
-        self._cache = (x, weight)
-        return out.astype(FLOAT, copy=False)
+        with prof.kernel("nn.dense.fwd"):
+            if x.ndim != 2 or x.shape[1] != self.in_features:
+                raise ValueError(
+                    f"{self.name}: expected (N, {self.in_features}), "
+                    f"got {x.shape}")
+            if self.input_quantizer is not None:
+                x = self.input_quantizer.forward(x)
+            weight = self._effective_weight()
+            out = x @ weight
+            if self.bias is not None:
+                out = out + self.bias.data
+            self._cache = (x, weight)
+            return out.astype(FLOAT, copy=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        x, weight = self._cache
-        grad = grad.astype(FLOAT, copy=False)
-        dweight = x.T @ grad
-        if self.weight_quantizer is not None:
-            dweight = self.weight_quantizer.backward(dweight)
-        self.weight.accumulate_grad(dweight)
-        if self.bias is not None:
-            self.bias.accumulate_grad(grad.sum(axis=0))
-        dx = grad @ weight.T
-        if self.input_quantizer is not None:
-            dx = self.input_quantizer.backward(dx)
-        self._cache = None
-        return dx
+        with prof.kernel("nn.dense.bwd"):
+            if self._cache is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            x, weight = self._cache
+            grad = grad.astype(FLOAT, copy=False)
+            dweight = x.T @ grad
+            if self.weight_quantizer is not None:
+                dweight = self.weight_quantizer.backward(dweight)
+            self.weight.accumulate_grad(dweight)
+            if self.bias is not None:
+                self.bias.accumulate_grad(grad.sum(axis=0))
+            dx = grad @ weight.T
+            if self.input_quantizer is not None:
+                dx = self.input_quantizer.backward(dx)
+            self._cache = None
+            return dx
 
     def __repr__(self) -> str:
         return f"Dense({self.in_features}->{self.out_features})"
@@ -112,50 +116,55 @@ class BatchNorm2D(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.shape[-1] != self.channels:
-            raise ValueError(
-                f"{self.name}: expected {self.channels} channels, "
-                f"got {x.shape[-1]}")
-        axes = tuple(range(x.ndim - 1))
-        if self.training:
-            mean = x.mean(axis=axes)
-            var = x.var(axis=axes)
-            count = int(np.prod([x.shape[a] for a in axes]))
-            self.running_mean = (self.momentum * self.running_mean
-                                 + (1 - self.momentum) * mean).astype(FLOAT)
-            # unbiased variance for the running estimate, as Keras does
-            unbiased = var * count / max(count - 1, 1)
-            self.running_var = (self.momentum * self.running_var
-                                + (1 - self.momentum) * unbiased).astype(FLOAT)
-        else:
-            mean = self.running_mean
-            var = self.running_var
-        inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean) * inv_std
-        out = self.gamma.data * x_hat + self.beta.data
-        self._cache = (x_hat, inv_std, axes, x.shape)
-        return out.astype(FLOAT, copy=False)
+        with prof.kernel("nn.bn.fwd"):
+            if x.shape[-1] != self.channels:
+                raise ValueError(
+                    f"{self.name}: expected {self.channels} channels, "
+                    f"got {x.shape[-1]}")
+            axes = tuple(range(x.ndim - 1))
+            if self.training:
+                mean = x.mean(axis=axes)
+                var = x.var(axis=axes)
+                count = int(np.prod([x.shape[a] for a in axes]))
+                self.running_mean = (
+                    self.momentum * self.running_mean
+                    + (1 - self.momentum) * mean).astype(FLOAT)
+                # unbiased variance for the running estimate, as Keras does
+                unbiased = var * count / max(count - 1, 1)
+                self.running_var = (
+                    self.momentum * self.running_var
+                    + (1 - self.momentum) * unbiased).astype(FLOAT)
+            else:
+                mean = self.running_mean
+                var = self.running_var
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean) * inv_std
+            out = self.gamma.data * x_hat + self.beta.data
+            self._cache = (x_hat, inv_std, axes, x.shape)
+            return out.astype(FLOAT, copy=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        x_hat, inv_std, axes, shape = self._cache
-        grad = grad.astype(FLOAT, copy=False)
-        self.gamma.accumulate_grad((grad * x_hat).sum(axis=axes))
-        self.beta.accumulate_grad(grad.sum(axis=axes))
-        if not self.training:
-            # inference: mean/var are constants
-            dx = grad * self.gamma.data * inv_std
+        with prof.kernel("nn.bn.bwd"):
+            if self._cache is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            x_hat, inv_std, axes, shape = self._cache
+            grad = grad.astype(FLOAT, copy=False)
+            self.gamma.accumulate_grad((grad * x_hat).sum(axis=axes))
+            self.beta.accumulate_grad(grad.sum(axis=axes))
+            if not self.training:
+                # inference: mean/var are constants
+                dx = grad * self.gamma.data * inv_std
+                self._cache = None
+                return dx.astype(FLOAT, copy=False)
+            count = int(np.prod([shape[a] for a in axes]))
+            dx_hat = grad * self.gamma.data
+            dx = (inv_std / count) * (
+                count * dx_hat
+                - dx_hat.sum(axis=axes)
+                - x_hat * (dx_hat * x_hat).sum(axis=axes))
             self._cache = None
             return dx.astype(FLOAT, copy=False)
-        count = int(np.prod([shape[a] for a in axes]))
-        dx_hat = grad * self.gamma.data
-        dx = (inv_std / count) * (
-            count * dx_hat
-            - dx_hat.sum(axis=axes)
-            - x_hat * (dx_hat * x_hat).sum(axis=axes))
-        self._cache = None
-        return dx.astype(FLOAT, copy=False)
 
     def fold_scale_shift(self) -> tuple:
         """Equivalent per-channel ``(scale, shift)`` for BN folding.
@@ -219,19 +228,22 @@ class GlobalAvgPool2D(Module):
         self._in_shape = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 4:
-            raise ValueError(f"expected NHWC input, got shape {x.shape}")
-        self._in_shape = x.shape
-        return x.mean(axis=(1, 2)).astype(FLOAT, copy=False)
+        with prof.kernel("nn.pool.fwd"):
+            if x.ndim != 4:
+                raise ValueError(f"expected NHWC input, got shape {x.shape}")
+            self._in_shape = x.shape
+            return x.mean(axis=(1, 2)).astype(FLOAT, copy=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._in_shape is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        n, h, w, c = self._in_shape
-        dx = np.broadcast_to(grad[:, None, None, :] / (h * w),
-                             self._in_shape).astype(FLOAT)
-        self._in_shape = None
-        return dx
+        with prof.kernel("nn.pool.bwd"):
+            if self._in_shape is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            n, h, w, c = self._in_shape
+            dx = np.broadcast_to(grad[:, None, None, :] / (h * w),
+                                 self._in_shape).astype(FLOAT)
+            self._in_shape = None
+            return dx
 
 
 class Flatten(Module):

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import profile as prof
 from . import functional as F
 from .module import FLOAT, Module
 
@@ -30,25 +31,28 @@ class AvgPool2D(Module):
         self._in_shape = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 4:
-            raise ValueError(f"expected NHWC input, got shape {x.shape}")
-        n, h, w, c = x.shape
-        p = self.pool
-        if h % p or w % p:
-            raise ValueError(
-                f"{self.name}: input {h}x{w} not divisible by pool {p}")
-        self._in_shape = x.shape
-        return x.reshape(n, h // p, p, w // p, p, c).mean(
-            axis=(2, 4)).astype(FLOAT, copy=False)
+        with prof.kernel("nn.pool.fwd"):
+            if x.ndim != 4:
+                raise ValueError(f"expected NHWC input, got shape {x.shape}")
+            n, h, w, c = x.shape
+            p = self.pool
+            if h % p or w % p:
+                raise ValueError(
+                    f"{self.name}: input {h}x{w} not divisible by pool {p}")
+            self._in_shape = x.shape
+            return x.reshape(n, h // p, p, w // p, p, c).mean(
+                axis=(2, 4)).astype(FLOAT, copy=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._in_shape is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        n, h, w, c = self._in_shape
-        p = self.pool
-        dx = np.repeat(np.repeat(grad, p, axis=1), p, axis=2) / (p * p)
-        self._in_shape = None
-        return dx.astype(FLOAT, copy=False)
+        with prof.kernel("nn.pool.bwd"):
+            if self._in_shape is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            n, h, w, c = self._in_shape
+            p = self.pool
+            dx = np.repeat(np.repeat(grad, p, axis=1), p, axis=2) / (p * p)
+            self._in_shape = None
+            return dx.astype(FLOAT, copy=False)
 
 
 class MaxPool2D(Module):
@@ -62,31 +66,34 @@ class MaxPool2D(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 4:
-            raise ValueError(f"expected NHWC input, got shape {x.shape}")
-        n, h, w, c = x.shape
-        p = self.pool
-        if h % p or w % p:
-            raise ValueError(
-                f"{self.name}: input {h}x{w} not divisible by pool {p}")
-        windows = x.reshape(n, h // p, p, w // p, p, c)
-        out = windows.max(axis=(2, 4))
-        # mask of argmax positions for the backward routing
-        mask = windows == out[:, :, None, :, None, :]
-        self._cache = (mask, x.shape)
-        return out.astype(FLOAT, copy=False)
+        with prof.kernel("nn.pool.fwd"):
+            if x.ndim != 4:
+                raise ValueError(f"expected NHWC input, got shape {x.shape}")
+            n, h, w, c = x.shape
+            p = self.pool
+            if h % p or w % p:
+                raise ValueError(
+                    f"{self.name}: input {h}x{w} not divisible by pool {p}")
+            windows = x.reshape(n, h // p, p, w // p, p, c)
+            out = windows.max(axis=(2, 4))
+            # mask of argmax positions for the backward routing
+            mask = windows == out[:, :, None, :, None, :]
+            self._cache = (mask, x.shape)
+            return out.astype(FLOAT, copy=False)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        if self._cache is None:
-            raise RuntimeError(f"{self.name}: backward called before forward")
-        mask, shape = self._cache
-        n, h, w, c = shape
-        p = self.pool
-        # distribute gradient over (possibly tied) max positions
-        counts = mask.sum(axis=(2, 4), keepdims=True)
-        dgrid = mask / counts * grad[:, :, None, :, None, :]
-        self._cache = None
-        return dgrid.reshape(shape).astype(FLOAT, copy=False)
+        with prof.kernel("nn.pool.bwd"):
+            if self._cache is None:
+                raise RuntimeError(
+                    f"{self.name}: backward called before forward")
+            mask, shape = self._cache
+            n, h, w, c = shape
+            p = self.pool
+            # distribute gradient over (possibly tied) max positions
+            counts = mask.sum(axis=(2, 4), keepdims=True)
+            dgrid = mask / counts * grad[:, :, None, :, None, :]
+            self._cache = None
+            return dgrid.reshape(shape).astype(FLOAT, copy=False)
 
 
 class Dropout(Module):

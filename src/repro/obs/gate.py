@@ -1,0 +1,209 @@
+"""The bench regression gate: newest run vs best prior run, same host.
+
+``scripts/bench_gate.py`` is the CLI wrapper.  The gate reads the
+append-only ``BENCH_*.json`` trajectory logs, takes the *newest* record
+(the last row — the one the current change produced) and compares its
+headline metric against the *best prior* record with a compatible
+workload key and host fingerprint:
+
+- ``BENCH_infer.json``: ``int_ips`` (images/sec through the integer
+  engine), higher is better, keyed by
+  ``(dataset, bits, image_size, n_images, batch_size)``;
+- ``BENCH_parallel.json``: ``serial_s`` (serial search wall-clock),
+  lower is better, keyed by ``(scale, dataset, mode, seed, trials,
+  batch_size)``; ``speedup`` is additionally gated (higher is better,
+  key also includes ``workers``) unless either record is
+  ``host_limited`` — a single-CPU host measures scheduling overhead,
+  not parallelism.
+
+Records whose host fingerprint is missing (``host: null``, migrated
+from schema 1) or differs from the newest record are skipped with a
+note: cross-machine wall-clock comparisons are noise, and the gate must
+not fail a PR because CI moved to different hardware.
+
+A metric *regresses* when it is worse than the baseline by more than
+``tolerance`` (relative, default 10% — wall-clock on shared machines
+jitters).  No comparable baseline means the gate passes vacuously.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .host import compatible
+
+__all__ = ["GateCheck", "GateReport", "gate_file", "run_gate",
+           "DEFAULT_TOLERANCE"]
+
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass
+class GateCheck:
+    """One newest-vs-baseline comparison."""
+
+    source: str
+    metric: str
+    newest: float
+    baseline: float
+    higher_is_better: bool
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """newest / baseline (so 1.0 means unchanged)."""
+        return self.newest / self.baseline if self.baseline else float("inf")
+
+    @property
+    def regressed(self) -> bool:
+        if self.higher_is_better:
+            return self.newest < self.baseline * (1.0 - self.tolerance)
+        return self.newest > self.baseline * (1.0 + self.tolerance)
+
+    def describe(self) -> str:
+        arrow = "up" if self.higher_is_better else "down"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (f"{verdict:<9} {self.source}: {self.metric} "
+                f"{self.newest:g} vs best prior {self.baseline:g} "
+                f"(x{self.ratio:.3f}, {arrow} is better, "
+                f"tolerance {self.tolerance:.0%})")
+
+
+@dataclass
+class GateReport:
+    checks: List[GateCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[GateCheck]:
+        return [check for check in self.checks if check.regressed]
+
+    def describe(self) -> str:
+        lines = [check.describe() for check in self.checks]
+        lines.extend(f"note      {note}" for note in self.notes)
+        if not self.checks:
+            lines.append("note      no comparable baseline; gate passes "
+                         "vacuously")
+        return "\n".join(lines)
+
+
+def _metric_value(run: Dict[str, Any], metric: str) -> Optional[float]:
+    value = run.get(metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _workload_key(run: Dict[str, Any],
+                  fields: Sequence[str]) -> Tuple[Any, ...]:
+    return tuple(run.get(f) for f in fields)
+
+
+#: per-file gate spec: metric -> (key fields, higher_is_better,
+#: skip when host_limited)
+_SPECS = {
+    "BENCH_infer": {
+        "int_ips": (("dataset", "bits", "image_size", "n_images",
+                     "batch_size"), True, False),
+    },
+    "BENCH_parallel": {
+        "serial_s": (("scale", "dataset", "mode", "seed", "trials",
+                      "batch_size"), False, False),
+        "speedup": (("scale", "dataset", "mode", "seed", "trials",
+                     "batch_size", "workers"), True, True),
+    },
+}
+
+
+def _spec_for(filename: str) -> Optional[Dict[str, Any]]:
+    for prefix, spec in _SPECS.items():
+        if filename.startswith(prefix):
+            return spec
+    return None
+
+
+def gate_file(path: Union[str, Path],
+              tolerance: float = DEFAULT_TOLERANCE) -> GateReport:
+    """Gate one ``BENCH_*.json`` trajectory file."""
+    path = Path(path)
+    report = GateReport()
+    spec = _spec_for(path.name)
+    if spec is None:
+        report.notes.append(f"{path.name}: no gate spec for this file")
+        return report
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        report.notes.append(f"{path.name}: unreadable ({exc})")
+        return report
+    runs = payload.get("runs") if isinstance(payload, dict) else None
+    if not isinstance(runs, list) or len(runs) < 2:
+        report.notes.append(f"{path.name}: fewer than two runs; nothing "
+                            "to compare")
+        return report
+    newest = runs[-1]
+    if not isinstance(newest, dict):
+        report.notes.append(f"{path.name}: newest run is not an object")
+        return report
+    if not isinstance(newest.get("host"), dict):
+        report.notes.append(
+            f"{path.name}: newest run has no host fingerprint "
+            "(migrated from v1?); skipping — wall-clock comparisons "
+            "need a known host")
+        return report
+
+    for metric, (key_fields, higher, skip_limited) in spec.items():
+        new_value = _metric_value(newest, metric)
+        if new_value is None:
+            report.notes.append(f"{path.name}: newest run has no "
+                                f"{metric}; skipped")
+            continue
+        if skip_limited and newest.get("host_limited"):
+            report.notes.append(
+                f"{path.name}: newest run is host_limited "
+                f"(single CPU); {metric} not gated")
+            continue
+        key = _workload_key(newest, key_fields)
+        best: Optional[float] = None
+        skipped_host = 0
+        for run in runs[:-1]:
+            if not isinstance(run, dict):
+                continue
+            if _workload_key(run, key_fields) != key:
+                continue
+            if skip_limited and run.get("host_limited"):
+                continue
+            if not compatible(run.get("host"), newest.get("host")):
+                skipped_host += 1
+                continue
+            value = _metric_value(run, metric)
+            if value is None:
+                continue
+            if best is None or (value > best if higher else value < best):
+                best = value
+        if skipped_host:
+            report.notes.append(
+                f"{path.name}: {metric}: skipped {skipped_host} prior "
+                "run(s) with missing or differing host fingerprint")
+        if best is None:
+            report.notes.append(f"{path.name}: {metric}: no comparable "
+                                "prior run on this host")
+            continue
+        report.checks.append(GateCheck(
+            source=path.name, metric=metric, newest=new_value,
+            baseline=best, higher_is_better=higher, tolerance=tolerance))
+    return report
+
+
+def run_gate(paths: Sequence[Union[str, Path]],
+             tolerance: float = DEFAULT_TOLERANCE) -> GateReport:
+    """Gate several bench files into one merged report."""
+    merged = GateReport()
+    for path in paths:
+        report = gate_file(path, tolerance=tolerance)
+        merged.checks.extend(report.checks)
+        merged.notes.extend(report.notes)
+    return merged

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .metrics import MetricsRegistry
-from .trace import read_events
+from .trace import read_events_tolerant
 
 #: phases shown in the breakdown, in pipeline order
 PHASE_ORDER = ("train", "ptq", "qaft", "eval", "final_training")
@@ -43,6 +43,8 @@ class RunReport:
     acquisitions: List[Dict[str, Any]] = field(default_factory=list)
     qaft_recovery: List[Dict[str, Any]] = field(default_factory=list)
     pool_batches: List[Dict[str, Any]] = field(default_factory=list)
+    profile_events: List[Dict[str, Any]] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     # -- derived views -----------------------------------------------------
@@ -87,9 +89,15 @@ class RunReport:
 
 
 def load_report(run_dir: Union[str, Path]) -> RunReport:
-    """Parse and aggregate a run directory's event log."""
-    events = read_events(run_dir)
+    """Parse and aggregate a run directory's event log.
+
+    Degrades instead of raising: a missing, empty, or torn-tail event log
+    (truncated last line from a killed run) yields a report over whatever
+    was parseable, with the problems recorded in ``report.warnings``.
+    """
+    events, warnings = read_events_tolerant(run_dir)
     report = RunReport(source=str(run_dir), events=events,
+                       warnings=warnings,
                        metrics=MetricsRegistry.from_events(events))
     for event in events:
         type_ = event.get("type")
@@ -109,6 +117,8 @@ def load_report(run_dir: Union[str, Path]) -> RunReport:
                     name, 0) + 1
             elif kind == "epoch":
                 report.epochs.append(event)
+        elif type_ == "profile":
+            report.profile_events.append(event)
         elif type_ == "gauge":
             if name == "trial.score":
                 report.trial_scores.append(
@@ -240,6 +250,8 @@ def render_text(report: RunReport) -> str:
     """The full text dashboard."""
     header = f"BOMP-NAS run health - {report.source}"
     lines = [header, "=" * len(header)]
+    for warning in report.warnings:
+        lines.append(f"WARNING: {warning}")
     run_meta = report.meta.get("run")
     if run_meta:
         lines.append(f"run: {run_meta}")
@@ -265,6 +277,12 @@ def render_text(report: RunReport) -> str:
     lines.append("")
     lines.append("process pool:")
     lines.extend(_pool_lines(report))
+    if report.profile_events:
+        # lazy import: profreport shares this module's event plumbing
+        from .profreport import hotspot_lines
+        lines.append("")
+        lines.append("profiler hotspots:")
+        lines.extend(hotspot_lines(report.events))
     return "\n".join(lines)
 
 
@@ -326,4 +344,11 @@ def write_report(run_dir: Union[str, Path],
             calibration_path = svg_path.with_name(
                 svg_path.stem + "-calibration" + (svg_path.suffix or ".svg"))
             calibration_path.write_text(calibration)
+        if report.profile_events:
+            from .profreport import flame_svg
+            flame = flame_svg(report.events)
+            if flame is not None:
+                flame_path = svg_path.with_name(
+                    svg_path.stem + "-flame" + (svg_path.suffix or ".svg"))
+                flame_path.write_text(flame)
     return report, text

@@ -23,6 +23,13 @@ SPAN_FIELDS = ("kind", "name", "span", "parent", "trial", "t_wall",
 #: fields every metric event must carry
 METRIC_FIELDS = ("name", "value", "trial", "tags")
 
+#: fields every profile event must carry (see :mod:`repro.obs.profile`)
+PROFILE_FIELDS = ("scope", "name", "phase", "mode", "trial", "calls",
+                  "excl_s", "incl_s", "tags")
+
+#: valid ``scope`` values of a profile event
+PROFILE_SCOPES = ("phase", "kernel")
+
 
 def _problem(index: int, message: str) -> str:
     return f"event {index}: {message}"
@@ -70,6 +77,28 @@ def validate_events(events: Sequence[Dict[str, Any]]) -> List[str]:
                            f"got {duration!r}"))
             if not isinstance(event.get("tags"), dict):
                 problems.append(_problem(index, "tags must be an object"))
+        elif type_ == "profile":
+            for field in PROFILE_FIELDS:
+                if field not in event:
+                    problems.append(_problem(
+                        index, f"profile missing field {field!r}"))
+            if event.get("scope") not in PROFILE_SCOPES:
+                problems.append(_problem(
+                    index, f"unknown profile scope "
+                           f"{event.get('scope')!r}"))
+            calls = event.get("calls")
+            if not isinstance(calls, int) or isinstance(calls, bool) \
+                    or calls < 0:
+                problems.append(_problem(
+                    index, f"profile calls must be a non-negative int, "
+                           f"got {calls!r}"))
+            for field in ("excl_s", "incl_s"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool) or value < 0:
+                    problems.append(_problem(
+                        index, f"profile {field} must be a non-negative "
+                               f"number, got {value!r}"))
         else:  # counter / gauge / hist
             for field in METRIC_FIELDS:
                 if field not in event:
@@ -127,6 +156,10 @@ def _bench_contract(filename: str):
 #: required keys of the ``host`` block in a BENCH_infer v2 record
 INFER_HOST_FIELDS = ("platform", "python", "numpy", "cpus")
 
+#: required keys of the ``host`` block in a BENCH_parallel v2 record
+#: (adds the CPU model, the fingerprint the bench gate keys on)
+PARALLEL_HOST_FIELDS = ("platform", "python", "numpy", "cpus", "cpu")
+
 
 def _validate_infer_run(index: int, run: Dict[str, Any]) -> List[str]:
     """Typed checks for the v2 fields of one BENCH_infer record.
@@ -158,6 +191,32 @@ def _validate_infer_run(index: int, run: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def _validate_parallel_run(index: int, run: Dict[str, Any]) -> List[str]:
+    """Typed checks for the v2 fields of one BENCH_parallel record.
+
+    Records migrated from schema 1 carry ``host: null`` (the fingerprint
+    was never captured); fresh records must carry a well-formed one.
+    ``host_limited`` flags speedups measured on a single-CPU host, which
+    the bench gate must not compare against multi-core runs.
+    """
+    problems: List[str] = []
+    host = run.get("host")
+    if host is not None:
+        if not isinstance(host, dict):
+            problems.append(f"run {index}: host must be an object or "
+                            f"null, got {host!r}")
+        else:
+            for field in PARALLEL_HOST_FIELDS:
+                if field not in host:
+                    problems.append(f"run {index}: host missing field "
+                                    f"{field!r}")
+    limited = run.get("host_limited")
+    if not isinstance(limited, bool):
+        problems.append(f"run {index}: host_limited must be a bool, "
+                        f"got {limited!r}")
+    return problems
+
+
 def validate_bench(payload: Dict[str, Any],
                    filename: str = "BENCH_parallel.json") -> List[str]:
     """Validate a parsed ``BENCH_*.json`` payload."""
@@ -181,6 +240,8 @@ def validate_bench(payload: Dict[str, Any],
                 problems.append(f"run {index}: missing field {field!r}")
         if infer_family:
             problems.extend(_validate_infer_run(index, run))
+        else:
+            problems.extend(_validate_parallel_run(index, run))
     return problems
 
 

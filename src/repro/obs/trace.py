@@ -34,7 +34,9 @@ import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from . import profile as _profile
 
 #: bump when an event field is renamed/removed (additions are compatible)
 TRACE_SCHEMA_VERSION = 1
@@ -43,7 +45,7 @@ TRACE_SCHEMA_VERSION = 1
 SPAN_KINDS = ("run", "trial", "phase", "epoch", "span")
 
 #: every event ``type`` a stream may contain
-EVENT_TYPES = ("meta", "span", "counter", "gauge", "hist")
+EVENT_TYPES = ("meta", "span", "counter", "gauge", "hist", "profile")
 
 #: default event-log filename inside a run directory
 EVENTS_FILENAME = "events.jsonl"
@@ -79,10 +81,14 @@ class Span:
         self.t_wall = time.time()
         self._t0 = time.perf_counter()
         self.recorder._span_started(self)
+        if self.kind == "phase" and _profile._active is not None:
+            _profile._active.phase_started(self.name)
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
         self.duration = time.perf_counter() - self._t0
+        if self.kind == "phase" and _profile._active is not None:
+            _profile._active.phase_finished(self.name)
         self.recorder._span_finished(self)
 
     def elapsed(self) -> float:
@@ -295,6 +301,54 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def read_events_tolerant(
+        path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Parse a JSONL event log, degrading instead of raising.
+
+    Returns ``(events, warnings)``.  A missing file, an empty log, or a
+    torn tail (a run killed mid-write leaves a truncated last line) all
+    yield whatever *was* parseable plus a human-readable warning, so
+    ``repro report`` can still render a partial dashboard for a crashed
+    run.  Mid-stream garbage is skipped line-by-line with a warning per
+    bad line.
+    """
+    resolved = events_path(path)
+    if not resolved.exists():
+        return [], [f"{resolved}: no event log found "
+                    f"(was the run traced with --trace?)"]
+    events: List[Dict[str, Any]] = []
+    warnings: List[str] = []
+    try:
+        with open(resolved) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return [], [f"{resolved}: unreadable ({exc})"]
+    last_line = len(lines)
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if line_no == last_line:
+                warnings.append(
+                    f"{resolved}: torn tail at line {line_no} "
+                    f"(run killed mid-write?); dropped the partial event")
+            else:
+                warnings.append(
+                    f"{resolved}: invalid JSON at line {line_no}; skipped")
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            warnings.append(
+                f"{resolved}: line {line_no} is not an object; skipped")
+    if not events:
+        warnings.append(f"{resolved}: event log is empty")
+    return events, warnings
 
 
 class RunTracer:

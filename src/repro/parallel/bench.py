@@ -6,14 +6,26 @@ returns a record in the stable ``BENCH_parallel.json`` schema.
 ``append_bench_record`` appends records to that file so the perf
 trajectory is measurable across PRs.
 
-Schema (version 1)::
+Schema (version 2)::
 
-    {"schema": 1,
+    {"schema": 2,
      "runs": [{"timestamp": <iso8601>, "scale": ..., "dataset": ...,
                "mode": ..., "seed": ..., "trials": ..., "workers": ...,
                "batch_size": ..., "cpu_count": ...,
                "serial_s": ..., "parallel_s": ..., "speedup": ...,
-               "identical": ...}]}
+               "identical": ...,
+               "host": {"platform": ..., "python": ..., "numpy": ...,
+                        "cpus": ..., "cpu": ...},
+               "host_limited": ...}]}
+
+Version 2 appends the ``host`` fingerprint (shared with ``BENCH_infer``,
+see :mod:`repro.obs.host`) so the bench gate only compares runs of the
+same machine, plus ``host_limited`` — true when the run was measured
+with a single CPU, where ``speedup`` reflects scheduling overhead rather
+than parallelism and must not be gated on.  Fields are only ever
+appended, never renamed; records migrated from v1 carry ``host: null``
+(the fingerprint was never captured) and a ``host_limited`` derived from
+their recorded ``cpu_count``.
 """
 
 from __future__ import annotations
@@ -24,14 +36,17 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: record fields, in stable order (new fields are appended, never renamed)
 RECORD_FIELDS = (
     "timestamp", "scale", "dataset", "mode", "seed", "trials", "workers",
     "batch_size", "cpu_count", "serial_s", "parallel_s", "speedup",
-    "identical",
+    "identical", "host", "host_limited",
 )
+
+#: fields added after schema 1 — migrated records get them backfilled
+V2_FIELDS = ("host", "host_limited")
 
 
 def default_bench_path() -> Path:
@@ -43,8 +58,26 @@ def default_bench_path() -> Path:
     return Path.cwd() / "BENCH_parallel.json"
 
 
+def migrate_record(run: Dict[str, Any]) -> Dict[str, Any]:
+    """Backfill the v2 fields of one v1 record, in place.
+
+    ``host`` was never captured, so it becomes ``null``; ``host_limited``
+    is derivable from the recorded ``cpu_count`` (a single-CPU host
+    cannot have measured real parallel speedup).
+    """
+    run.setdefault("host", None)
+    if "host_limited" not in run:
+        run["host_limited"] = run.get("cpu_count") == 1
+    return run
+
+
 def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
-    """Append one run record, creating or migrating the file as needed."""
+    """Append one run record, creating or migrating the file as needed.
+
+    A version-1 file is migrated in place: the schema stamp is bumped and
+    every pre-existing run gains the v2 fields (readers must be able to
+    rely on field presence).
+    """
     path = Path(path)
     payload: Dict[str, Any] = {"schema": BENCH_SCHEMA_VERSION, "runs": []}
     if path.exists():
@@ -52,6 +85,9 @@ def append_bench_record(path: Path, record: Dict[str, Any]) -> None:
         if isinstance(existing, dict) and isinstance(
                 existing.get("runs"), list):
             payload["runs"] = existing["runs"]
+            for run in payload["runs"]:
+                if isinstance(run, dict):
+                    migrate_record(run)
     ordered = {key: record.get(key) for key in RECORD_FIELDS}
     for key in record:
         if key not in ordered:
@@ -118,6 +154,7 @@ def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
     except AttributeError:  # pragma: no cover — non-Linux
         cpu_count = os.cpu_count() or 1
     identical = _results_identical(serial, parallel)
+    from ..obs.host import host_metadata
     record = {
         "timestamp": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
@@ -128,6 +165,8 @@ def measure_speedup(scale: Optional[str] = None, dataset: str = "cifar10",
         "serial_s": round(serial_s, 3), "parallel_s": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "identical": identical,
+        "host": host_metadata(),
+        "host_limited": cpu_count == 1,
     }
     if measure_traced:
         import tempfile

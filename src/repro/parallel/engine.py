@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..data.datasets import Dataset
+from ..obs import profile
 from ..obs.console import ConsoleReporter
 from ..obs.trace import TraceRecorder, get_recorder, use_recorder
 from ..resilience.faults import corrupt_outcome_due, inject_trial_fault
@@ -150,14 +151,17 @@ class TrialSpec:
     trial will occupy in the result list, and the pre-derived trial seed.
     The heavy, run-constant state (config, dataset, space) ships once per
     worker through the pool initializer, never per task.  ``trace`` asks
-    the worker to collect span/metric events for this trial; it must never
-    affect the results themselves (tracing reads clocks, not RNGs).
+    the worker to collect span/metric events for this trial, and
+    ``profile`` additionally activates a per-trial kernel profiler
+    (``"time"`` or ``"alloc"``); neither may ever affect the results
+    themselves (instrumentation reads clocks, not RNGs).
     """
 
     index: int
     genome: MixedPrecisionGenome
     seed: int
     trace: bool = False
+    profile: Optional[str] = None
 
 
 @dataclass
@@ -214,16 +218,27 @@ def _evaluate_spec(evaluator: "BOMPNAS", spec: TrialSpec) -> TrialOutcome:
     Shared by the worker task and the serial path so both produce the same
     outcome shape: per-trial events are collected in a private recorder
     and shipped back through the outcome, never written directly — the
-    parent's recorder merges them in spec order into one stream.
+    parent's recorder merges them in spec order into one stream.  When the
+    spec asks for profiling, a per-trial :class:`KernelProfiler` is
+    activated around the evaluation (temporarily displacing any run-level
+    profiler on the serial path, so kernel time is attributed per trial)
+    and flushed into the same event list.
     """
-    if not spec.trace:
+    if not spec.trace and not spec.profile:
         results = evaluator.evaluate_candidate(spec.genome, spec.index,
                                                seed=spec.seed)
         return TrialOutcome(index=spec.index, results=results)
     recorder = TraceRecorder()
     with use_recorder(recorder):
-        results = evaluator.evaluate_candidate(spec.genome, spec.index,
-                                               seed=spec.seed)
+        if spec.profile:
+            profiler = profile.KernelProfiler(spec.profile)
+            with profile.use_profiler(profiler):
+                results = evaluator.evaluate_candidate(
+                    spec.genome, spec.index, seed=spec.seed)
+            profiler.flush_to(recorder, trial=spec.index)
+        else:
+            results = evaluator.evaluate_candidate(spec.genome, spec.index,
+                                                   seed=spec.seed)
     return TrialOutcome(index=spec.index, results=results,
                         events=recorder.events)
 

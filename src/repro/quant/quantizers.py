@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..nn.module import FLOAT
+from ..obs import profile as prof
 from .observers import MinMaxObserver, Observer
 
 
@@ -77,7 +78,8 @@ class WeightQuantizer:
     def forward(self, weights: np.ndarray) -> np.ndarray:
         if self.bits >= 32:
             return weights
-        return quantize_symmetric(weights, self.bits, self.channel_axis)
+        with prof.kernel("quant.weight_fq"):
+            return quantize_symmetric(weights, self.bits, self.channel_axis)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return grad
@@ -123,14 +125,15 @@ class FixedScaleWeightQuantizer(WeightQuantizer):
     def forward(self, weights: np.ndarray) -> np.ndarray:
         if self.bits >= 32:
             return weights
-        qmax = 2 ** (self.bits - 1) - 1
-        scale = self.scales
-        if self.channel_axis is not None:
-            shape = [1] * weights.ndim
-            shape[self.channel_axis] = -1
-            scale = scale.reshape(shape)
-        q = np.clip(np.round(weights / scale), -qmax, qmax)
-        return (q * scale).astype(FLOAT)
+        with prof.kernel("quant.weight_fq"):
+            qmax = 2 ** (self.bits - 1) - 1
+            scale = self.scales
+            if self.channel_axis is not None:
+                shape = [1] * weights.ndim
+                shape[self.channel_axis] = -1
+                scale = scale.reshape(shape)
+            q = np.clip(np.round(weights / scale), -qmax, qmax)
+            return (q * scale).astype(FLOAT)
 
     def __repr__(self) -> str:
         return (f"FixedScaleWeightQuantizer(bits={self.bits}, "
@@ -196,9 +199,10 @@ class ActivationQuantizer:
             self.observer.observe(x)
             self._mask = None
             return x
-        lo, hi = self._range
-        self._mask = (x >= lo) & (x <= hi)
-        return self.fake_quant(x)
+        with prof.kernel("quant.act_fq"):
+            lo, hi = self._range
+            self._mask = (x >= lo) & (x <= hi)
+            return self.fake_quant(x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:

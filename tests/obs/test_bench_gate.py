@@ -1,0 +1,241 @@
+"""The bench regression gate and the BENCH_parallel v2 migration."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.gate import gate_file, run_gate
+from repro.obs.host import compatible, fingerprint, host_metadata
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GATE_SCRIPT = REPO_ROOT / "scripts" / "bench_gate.py"
+
+HOST = {"platform": "linux", "python": "3.11", "numpy": "1.26",
+        "cpus": 8, "cpu": "TestCPU 3000"}
+
+
+def _infer_run(int_ips, host=HOST, **overrides):
+    run = {"timestamp": "2026-08-08T00:00:00+00:00", "dataset": "cifar10",
+           "bits": 8, "image_size": 16, "n_images": 256,
+           "batch_size": 256, "stages": 10, "macs_per_image": 1000,
+           "float_s": 1.0, "int_s": 256.0 / int_ips, "float_ips": 256.0,
+           "int_ips": int_ips, "int_over_float": 0.2,
+           "top1_agreement": 1.0, "arena_bytes": 1024,
+           "allocs_per_image": 0.0, "host": copy.deepcopy(host)}
+    run.update(overrides)
+    return run
+
+
+def _parallel_run(serial_s, speedup=1.8, host=HOST, host_limited=False,
+                  **overrides):
+    run = {"timestamp": "2026-08-08T00:00:00+00:00", "scale": "smoke",
+           "dataset": "cifar10", "mode": "mp_qaft", "seed": 7,
+           "trials": 14, "workers": 2, "batch_size": 4, "cpu_count": 8,
+           "serial_s": serial_s,
+           "parallel_s": serial_s / speedup if speedup else None,
+           "speedup": speedup, "identical": True,
+           "host": copy.deepcopy(host), "host_limited": host_limited}
+    run.update(overrides)
+    return run
+
+
+def _write(tmp_path, name, runs, schema=2):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": schema, "runs": runs}))
+    return path
+
+
+class TestHostFingerprint:
+    def test_metadata_has_fingerprint_keys(self):
+        host = host_metadata()
+        for key in ("platform", "python", "numpy", "cpus", "cpu"):
+            assert key in host
+
+    def test_fingerprint_none_for_null_host(self):
+        assert fingerprint(None) is None
+        assert fingerprint("not a dict") is None
+
+    def test_compatible_wildcards_missing_keys(self):
+        old = {"platform": "linux", "python": "3.11", "numpy": "1.26",
+               "cpus": 8}  # BENCH_infer v2 block, no "cpu" key
+        assert compatible(old, HOST)
+        assert not compatible({**old, "cpus": 1}, HOST)
+        assert not compatible(None, HOST)
+
+
+class TestGateInfer:
+    def test_regression_detected(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(400.0)])  # -20%
+        report = gate_file(path)
+        assert len(report.checks) == 1
+        assert report.checks[0].regressed
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(480.0)])  # -4%
+        report = gate_file(path)
+        assert not report.regressions
+
+    def test_improvement_passes(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(700.0)])
+        assert not gate_file(path).regressions
+
+    def test_best_prior_not_latest_prior(self, tmp_path):
+        # the baseline is the best prior run, so a slow run cannot
+        # ratchet the bar down for its successors
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(300.0),
+                       _infer_run(420.0)])
+        report = gate_file(path)
+        assert report.checks[0].baseline == 500.0
+        assert report.checks[0].regressed
+
+    def test_differing_host_skipped(self, tmp_path):
+        other = dict(HOST, cpu="OtherCPU 9000")
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0, host=other), _infer_run(400.0)])
+        report = gate_file(path)
+        assert report.checks == []
+        assert any("host fingerprint" in n for n in report.notes)
+
+    def test_null_host_newest_skipped(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(400.0, host=None)])
+        report = gate_file(path)
+        assert report.checks == []
+
+    def test_differing_workload_skipped(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0, bits=4), _infer_run(400.0)])
+        assert gate_file(path).checks == []
+
+    def test_single_run_vacuous(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json", [_infer_run(500.0)])
+        report = gate_file(path)
+        assert report.checks == [] and report.notes
+
+
+class TestGateParallel:
+    def test_serial_time_regression(self, tmp_path):
+        path = _write(tmp_path, "BENCH_parallel.json",
+                      [_parallel_run(100.0), _parallel_run(125.0)])
+        report = gate_file(path)
+        regressed = [c for c in report.regressions]
+        assert any(c.metric == "serial_s" for c in regressed)
+
+    def test_speedup_gated_on_multicore(self, tmp_path):
+        path = _write(tmp_path, "BENCH_parallel.json",
+                      [_parallel_run(100.0, speedup=1.8),
+                       _parallel_run(100.0, speedup=1.2)])
+        report = gate_file(path)
+        assert any(c.metric == "speedup" and c.regressed
+                   for c in report.checks)
+
+    def test_host_limited_speedup_not_gated(self, tmp_path):
+        path = _write(tmp_path, "BENCH_parallel.json",
+                      [_parallel_run(100.0, speedup=1.8),
+                       _parallel_run(100.0, speedup=0.5,
+                                     host_limited=True)])
+        report = gate_file(path)
+        assert not any(c.metric == "speedup" for c in report.checks)
+        # serial_s is still gated: wall-clock is meaningful on any host
+        assert any(c.metric == "serial_s" for c in report.checks)
+
+
+class TestGateScript:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(GATE_SCRIPT), *argv],
+            capture_output=True, text=True)
+
+    def test_committed_bench_files_pass(self):
+        result = self._run()
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_synthetic_regression_fails(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(400.0)])
+        result = self._run(str(path))
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_dry_run_always_zero(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(400.0)])
+        result = self._run(str(path), "--dry-run")
+        assert result.returncode == 0
+        assert "REGRESSED" in result.stdout
+
+    def test_tolerance_flag(self, tmp_path):
+        path = _write(tmp_path, "BENCH_infer.json",
+                      [_infer_run(500.0), _infer_run(480.0)])  # -4%
+        assert self._run(str(path)).returncode == 0
+        assert self._run(str(path),
+                         "--tolerance", "0.01").returncode == 1
+
+
+class TestParallelV2Migration:
+    def test_append_migrates_v1_rows(self, tmp_path):
+        from repro.parallel.bench import append_bench_record
+        path = tmp_path / "BENCH_parallel.json"
+        v1 = {"schema": 1,
+              "runs": [{"timestamp": "t", "scale": "smoke",
+                        "dataset": "cifar10", "mode": "mp_qaft",
+                        "seed": 7, "trials": 14, "workers": 2,
+                        "batch_size": 4, "cpu_count": 1,
+                        "serial_s": 10.0, "parallel_s": 11.0,
+                        "speedup": 0.91, "identical": True}]}
+        path.write_text(json.dumps(v1))
+        append_bench_record(path, _parallel_run(9.0))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        migrated = payload["runs"][0]
+        assert migrated["host"] is None
+        assert migrated["host_limited"] is True  # cpu_count == 1
+        fresh = payload["runs"][1]
+        assert fresh["host_limited"] is False
+
+    def test_migrated_file_validates(self, tmp_path):
+        from repro.obs.schema import validate_bench_file
+        from repro.parallel.bench import append_bench_record
+        path = tmp_path / "BENCH_parallel.json"
+        append_bench_record(path, _parallel_run(9.0))
+        assert validate_bench_file(path) == []
+
+    def test_committed_file_is_v2(self):
+        payload = json.loads(
+            (REPO_ROOT / "BENCH_parallel.json").read_text())
+        assert payload["schema"] == 2
+        for run in payload["runs"]:
+            assert "host" in run and "host_limited" in run
+
+
+class TestSchemaProfileEvents:
+    def test_valid_profile_event(self):
+        from repro.obs.schema import validate_events
+        event = {"type": "profile", "scope": "kernel",
+                 "name": "nn.conv2d.fwd", "phase": "train",
+                 "mode": "time", "trial": 0, "calls": 3, "excl_s": 0.1,
+                 "incl_s": 0.2, "allocs": None, "peak_bytes": None,
+                 "net_bytes": None, "tags": {}}
+        assert validate_events([event]) == []
+
+    def test_bad_scope_and_counts_flagged(self):
+        from repro.obs.schema import validate_events
+        problems = validate_events([
+            {"type": "profile", "scope": "bogus", "name": "k",
+             "phase": "", "mode": "time", "trial": None, "calls": -1,
+             "excl_s": -0.5, "incl_s": 0.0, "tags": {}}])
+        assert any("scope" in p for p in problems)
+        assert any("calls" in p for p in problems)
+        assert any("excl_s" in p for p in problems)
+
+    def test_unknown_type_still_flagged(self):
+        from repro.obs.schema import validate_events
+        assert validate_events([{"type": "bogus"}])

@@ -35,3 +35,36 @@ class TestConsoleReporter:
         stream = io.StringIO()
         ConsoleReporter(quiet=True, stream=stream).trial(FakeTrial())
         assert stream.getvalue() == ""
+
+    def test_every_line_flushed_eagerly(self):
+        # the whole point of the reporter: piped logs must stream
+        class Recording(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        stream = Recording()
+        reporter = ConsoleReporter(stream=stream)
+        reporter.info("a")
+        reporter.emit("b")
+        assert stream.flushes == 2
+
+    def test_emit_survives_quiet(self):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(quiet=True, stream=stream)
+        reporter.emit("first")
+        reporter.emit("second")
+        assert stream.getvalue() == "first\nsecond\n"
+
+    def test_multiline_message_kept_verbatim(self):
+        stream = io.StringIO()
+        ConsoleReporter(stream=stream).emit("a\nb")
+        assert stream.getvalue() == "a\nb\n"
+
+    def test_default_stream_is_stdout(self, capsys):
+        ConsoleReporter().emit("to stdout")
+        assert capsys.readouterr().out == "to stdout\n"

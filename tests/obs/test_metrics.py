@@ -57,6 +57,42 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").percentile(1.5)
 
+    def test_empty_snapshot_percentiles(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["p50"] == snap["p90"] == snap["p99"] == 0.0
+
+    def test_single_sample_percentiles_agree(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        # one sample: every quantile lands in its bucket's upper bound
+        assert h.percentile(0.01) == 2.0
+        assert h.percentile(0.5) == 2.0
+        assert h.percentile(1.0) == 2.0
+        assert h.vmin == h.vmax == 1.5
+
+    def test_value_below_first_bucket_counts_in_it(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(-5.0)
+        assert h.counts[0] == 1
+        assert h.vmin == -5.0
+        assert h.percentile(0.5) == 1.0  # first bucket's upper bound
+
+    def test_values_beyond_last_bucket_overflow(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        for v in (10.0, 1000.0):
+            h.observe(v)
+        assert h.counts[-1] == 2
+        # the overflow bucket has no upper bound -> exact max
+        assert h.percentile(0.5) == 1000.0
+        assert h.snapshot()["p99"] == 1000.0
+
+    def test_exact_bucket_bound_is_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts[0] == 1 and h.counts[1] == 0
+
 
 class TestMetricsRegistry:
     def test_get_or_create_and_type_conflict(self):
