@@ -8,7 +8,9 @@ compatible host fingerprint (see :mod:`repro.obs.gate`):
 - ``BENCH_infer.json``: integer-engine throughput ``int_ips``
   (higher is better);
 - ``BENCH_parallel.json``: serial search wall-clock ``serial_s``
-  (lower is better) and, on multi-CPU hosts, ``speedup``.
+  (lower is better) and, on multi-CPU hosts, ``speedup``;
+- ``BENCH_serve.json``: batched serving throughput ``conc_ips``
+  (higher is better) and, on multi-CPU hosts, tail latency ``p99_ms``.
 
 Usage::
 

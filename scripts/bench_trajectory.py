@@ -13,6 +13,13 @@ same batch — and appends to ``BENCH_infer.json`` (see
 :mod:`repro.infer.bench`)::
 
     PYTHONPATH=src python scripts/bench_trajectory.py --infer
+
+``--serve`` runs the serving load generator — a batch-size-1 sequential
+baseline vs dynamic batching under concurrent clients, through the real
+daemon admission/batching path — and appends to ``BENCH_serve.json``
+(see :mod:`repro.serve.bench`)::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --serve
 """
 
 import argparse
@@ -47,10 +54,35 @@ def main(argv=None):
                              "fake-quant vs integer engine) instead of "
                              "search parallelism; logs to BENCH_infer.json")
     parser.add_argument("--bits", type=int, default=8,
-                        help="homogeneous weight bitwidth for --infer")
+                        help="homogeneous weight bitwidth for --infer / "
+                             "--serve")
     parser.add_argument("--n-images", type=int, default=256,
                         help="batch size measured by --infer")
+    parser.add_argument("--serve", action="store_true",
+                        help="measure serving throughput/latency "
+                             "(sequential vs dynamically batched) "
+                             "instead; logs to BENCH_serve.json")
+    parser.add_argument("--requests", type=int, default=256,
+                        help="requests fired by --serve")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent clients driven by --serve")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="arena batch capacity for --serve")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        from repro.serve.bench import (append_bench_record as append_serve,
+                                       default_bench_path as serve_path,
+                                       measure_serving)
+        record = measure_serving(dataset=args.dataset, bits=args.bits,
+                                 n_requests=args.requests,
+                                 n_clients=args.clients,
+                                 max_batch=args.max_batch, seed=args.seed)
+        path = Path(args.out) if args.out else serve_path()
+        append_serve(path, record)
+        print(json.dumps(record, indent=2))
+        print(f"appended to {path}")
+        return 0
 
     if args.infer:
         from repro.infer.bench import (append_bench_record as append_infer,

@@ -2,8 +2,9 @@
 """Validate observability artifacts against their schemas.
 
 Checks run-directory JSONL event logs (``events.jsonl``), benchmark files
-(``BENCH_*.json``), and search checkpoints (``checkpoint.json``) with the
-validators dispatched by :mod:`repro.obs.schema`.
+(``BENCH_*.json``), search checkpoints (``checkpoint.json``), and serving
+stats snapshots (``serve_stats.json``) with the validators dispatched by
+:mod:`repro.obs.schema`.
 
 ``BENCH_infer.json`` is validated against schema version 2, which adds
 ``arena_bytes`` / ``allocs_per_image`` (the planned executor's memory
@@ -40,6 +41,7 @@ def default_targets() -> list:
     if runs_dir.is_dir():
         targets.extend(sorted(runs_dir.glob(f"*/{EVENTS_FILENAME}")))
         targets.extend(sorted(runs_dir.glob("*/checkpoint.json")))
+        targets.extend(sorted(runs_dir.glob("*/serve_stats.json")))
     return targets
 
 

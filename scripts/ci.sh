@@ -8,7 +8,9 @@
 #   2. schema validation of the committed BENCH_*.json files and of a
 #      freshly traced+profiled run's events.jsonl (exercises the full
 #      span/metric/profile event surface, not just checked-in artifacts)
-#   3. bench gate dry run (reports newest-vs-baseline deltas; the
+#   3. serving smoke test (HTTP round trip against a live daemon,
+#      concurrent clients, bit-identity vs serial inference, clean drain)
+#   4. bench gate dry run (reports newest-vs-baseline deltas; the
 #      enforcing run is `python scripts/bench_gate.py` without --dry-run,
 #      meant for perf-sensitive PRs after refreshing the BENCH logs)
 set -euo pipefail
@@ -29,6 +31,9 @@ trap 'rm -rf "$TMP_RUN"' EXIT
 python -m repro search --scale unit --no-final-training --profile \
     --trace-dir "$TMP_RUN/run" --quiet >/dev/null
 python scripts/check_schema.py "$TMP_RUN/run"
+
+echo "== serve smoke =="
+python scripts/serve_smoke.py
 
 echo "== bench gate (dry run) =="
 python scripts/bench_gate.py --dry-run

@@ -16,6 +16,11 @@ Commands:
   deployed accuracy, deployment cost report, optional parity check.
 - ``profile`` — hotspot table + flame SVG for a profiled run directory
   (a search run with ``--profile`` / ``BOMP_PROFILE=1``).
+- ``serve``   — multi-model serving daemon over exported artifacts:
+  dynamic batching, admission control, graceful SIGTERM drain (see
+  :mod:`repro.serve`).
+- ``serve-report`` — latency/SLO report over the ``serve_stats.json``
+  a drained daemon leaves in its run directory.
 """
 
 from __future__ import annotations
@@ -175,6 +180,52 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--svg-out", default=None,
                          help="flame SVG path (default <run_dir>/"
                               "flame.svg; 'none' to skip)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve exported .bomp artifacts over HTTP with dynamic "
+             "batching and admission control")
+    serve.add_argument("--model", action="append", default=[],
+                       metavar="NAME=PATH",
+                       help="load a model at startup (repeatable); more "
+                            "can be loaded later via POST "
+                            "/v1/models/<name>/load")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8700,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="arena capacity: most images per coalesced "
+                            "batch")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="how long a batch waits to fill before "
+                            "running short")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admitted-but-unbatched bound per model; "
+                            "beyond it requests are shed with 429")
+    serve.add_argument("--workers-per-model", type=int, default=1,
+                       help="batch workers (private arenas) per model")
+    serve.add_argument("--timeout-ms", type=float, default=30_000.0,
+                       help="default server-side request deadline")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="p99 latency target judged by serve-report")
+    serve.add_argument("--run-dir", default=None,
+                       help="write serve_stats.json here on shutdown "
+                            "(default runs/serve)")
+    serve.add_argument("--bench", action="store_true",
+                       help="skip the server: run the deterministic "
+                            "load generator and append to "
+                            "BENCH_serve.json")
+    serve.add_argument("--bench-requests", type=int, default=256)
+    serve.add_argument("--bench-clients", type=int, default=8)
+    serve.add_argument("--bench-out", default=None,
+                       help="bench log path (default BENCH_serve.json "
+                            "at the repo root)")
+
+    serve_report = commands.add_parser(
+        "serve-report",
+        help="latency/SLO report for a drained serving run")
+    serve_report.add_argument(
+        "source", help="serving run directory or serve_stats.json path")
     return parser
 
 
@@ -281,6 +332,11 @@ def cmd_report(args: argparse.Namespace) -> int:
         if path.is_dir() or path.suffix == ".jsonl":
             if not (path if path.suffix == ".jsonl"
                     else path / EVENTS_FILENAME).exists():
+                from .serve.daemon import STATS_FILENAME
+                if path.is_dir() and (path / STATS_FILENAME).exists():
+                    # a serving run dir, not a traced search run
+                    return cmd_serve_report(
+                        argparse.Namespace(source=str(path)))
                 reporter.emit(f"no {EVENTS_FILENAME} under {path}; was the "
                               "search run with --trace?")
                 return 1
@@ -358,15 +414,14 @@ def cmd_export(args: argparse.Namespace) -> int:
 def cmd_infer(args: argparse.Namespace) -> int:
     reporter = ConsoleReporter()
     from .infer import (ArtifactError, check_parity, deployment_report,
-                        format_report, load_artifact)
+                        format_report, load_artifact_cached)
     try:
-        artifact = load_artifact(args.artifact)
+        cached = load_artifact_cached(args.artifact)
+        artifact = cached.artifact
         model = artifact.rebuild()
     except (ArtifactError, OSError, ValueError) as exc:
         raise SystemExit(f"cannot load artifact: {exc}")
-    from .infer.compile import compile_model
-    program = compile_model(model, artifact.image_size,
-                            name=Path(args.artifact).stem)
+    program = cached.program
     reporter.emit(repr(program))
     reporter.emit(format_report(deployment_report(program)))
     from .infer.plan import plan_arena
@@ -407,6 +462,88 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_args(pairs: List[str]) -> List[tuple]:
+    models = []
+    for pair in pairs:
+        name, sep, path = pair.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"--model wants NAME=PATH, got {pair!r}")
+        models.append((name, path))
+    return models
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    reporter = ConsoleReporter()
+    from .serve import ServeConfig, ServeDaemon
+    from .serve.report import build_report, render_serve_report
+    models = _parse_model_args(args.model)
+    if args.bench:
+        from .serve.bench import (append_bench_record, default_bench_path,
+                                  measure_serving)
+        record = measure_serving(
+            artifact_path=Path(models[0][1]) if models else None,
+            n_requests=args.bench_requests, n_clients=args.bench_clients,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth)
+        out = Path(args.bench_out) if args.bench_out \
+            else default_bench_path()
+        append_bench_record(out, record)
+        reporter.emit(
+            f"sequential {record['seq_ips']} img/s, "
+            f"{args.bench_clients} clients {record['conc_ips']} img/s "
+            f"(x{record['batch_speedup']}, mean batch "
+            f"{record['mean_batch']}); p50 {record['p50_ms']} ms, "
+            f"p99 {record['p99_ms']} ms")
+        reporter.emit(f"bench record appended to {out}")
+        return 0
+
+    config = ServeConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, queue_depth=args.queue_depth,
+        workers_per_model=args.workers_per_model,
+        default_timeout_ms=args.timeout_ms, slo_p99_ms=args.slo_p99_ms,
+        run_dir=args.run_dir or "runs/serve")
+    daemon = ServeDaemon(config)
+    for name, path in models:
+        runtime = daemon.load_model(name, path)
+        info = runtime.entry.describe()
+        reporter.emit(f"loaded {name}: {path} "
+                      f"(input {info['input_shape']}, "
+                      f"{info['num_classes']} classes)")
+    host, port = daemon.start()
+    reporter.emit(f"serving on http://{host}:{port} "
+                  f"(max_batch={config.max_batch}, "
+                  f"max_wait={config.max_wait_ms}ms, "
+                  f"queue_depth={config.queue_depth})")
+    reporter.emit("SIGTERM/Ctrl-C drains and writes "
+                  f"{config.run_dir}/serve_stats.json")
+
+    def _drain(signum, frame):
+        daemon.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    daemon.wait()
+    reporter.emit("draining...")
+    daemon.shutdown(drain=True)
+    reporter.emit(render_serve_report(build_report(config.run_dir)))
+    return 0
+
+
+def cmd_serve_report(args: argparse.Namespace) -> int:
+    reporter = ConsoleReporter()
+    from .serve.report import (ServeStatsError, build_report,
+                               render_serve_report)
+    try:
+        report = build_report(args.source)
+    except ServeStatsError as exc:
+        raise SystemExit(str(exc))
+    reporter.emit(render_serve_report(report))
+    return 0 if report.ok() else 1
+
+
 COMMANDS = {
     "search": cmd_search,
     "report": cmd_report,
@@ -415,6 +552,8 @@ COMMANDS = {
     "export": cmd_export,
     "infer": cmd_infer,
     "profile": cmd_profile,
+    "serve": cmd_serve,
+    "serve-report": cmd_serve_report,
 }
 
 

@@ -10,10 +10,11 @@ activation memory).  :mod:`repro.infer.artifact` packages all of it into
 a single deployable file driven by ``repro export`` / ``repro infer``.
 """
 
-from .artifact import (ArtifactError, DeployableArtifact, artifact_from_bytes,
+from .artifact import (ArtifactCache, ArtifactError, CachedArtifact,
+                       DeployableArtifact, artifact_from_bytes,
                        artifact_to_bytes, build_artifact, collect_bn_stats,
-                       export_run, load_artifact, restore_bn_stats,
-                       save_artifact)
+                       default_artifact_cache, export_run, load_artifact,
+                       load_artifact_cached, restore_bn_stats, save_artifact)
 from .bench import (append_bench_record, default_bench_path, host_metadata,
                     measure_inference)
 from .compile import CompileError, Grid, Stage, compile_model, finalize_stage
@@ -31,9 +32,11 @@ from .requant import (RequantPlan, quantize_multiplier, quantize_multipliers,
                       rounding_right_shift)
 
 __all__ = [
-    "ArtifactError", "DeployableArtifact", "artifact_from_bytes",
+    "ArtifactCache", "ArtifactError", "CachedArtifact",
+    "DeployableArtifact", "artifact_from_bytes",
     "artifact_to_bytes", "build_artifact", "collect_bn_stats", "export_run",
-    "load_artifact", "restore_bn_stats", "save_artifact",
+    "default_artifact_cache", "load_artifact", "load_artifact_cached",
+    "restore_bn_stats", "save_artifact",
     "append_bench_record", "default_bench_path", "host_metadata",
     "measure_inference",
     "CompileError", "Grid", "Stage", "compile_model", "finalize_stage",

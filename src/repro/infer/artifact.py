@@ -19,9 +19,12 @@ evaluates deployed accuracy — with no access to the original run.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
@@ -181,6 +184,121 @@ def save_artifact(artifact: DeployableArtifact,
 
 def load_artifact(path: Union[str, Path]) -> DeployableArtifact:
     return artifact_from_bytes(Path(path).read_bytes())
+
+
+# -- content-hash artifact cache -------------------------------------------
+
+@dataclass
+class CachedArtifact:
+    """One compiled ``.bomp`` entry: the immutable share-everything unit.
+
+    ``program`` is compiled once per *content* and then shared — stages
+    are finalized at compile time and never mutated afterwards, so any
+    number of threads may build private
+    :class:`~repro.infer.engine.ArenaExecutor` instances over it.
+    """
+
+    digest: str
+    artifact: DeployableArtifact
+    program: Program
+
+
+class ArtifactCache:
+    """In-memory LRU of compiled ``.bomp`` artifacts, keyed by content.
+
+    Rebuilding and compiling an artifact costs ~100× more than reading
+    and hashing its bytes, so every load re-reads the file, hashes it
+    (SHA-256), and reuses the compiled program when the *content* is
+    unchanged — the file may move, be re-exported bit-identically, or be
+    loaded under several model names and still hit.  A changed file
+    yields a new digest: the stale entry for that path is dropped
+    immediately (not merely aged out), so a registry reload after
+    re-export can never serve the old weights.
+
+    Thread-safe: the serving registry loads models from concurrent HTTP
+    handler threads.  A race on the same digest may compile twice; the
+    loser's program is discarded, which wastes work but never shares a
+    half-built entry.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedArtifact]" = OrderedDict()
+        self._path_digest: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self, path: Union[str, Path],
+             name: Optional[str] = None) -> CachedArtifact:
+        """The cached (artifact, compiled program) for ``path``'s content."""
+        from ..obs.trace import get_recorder
+        path = Path(path)
+        key = str(path.resolve())
+        data = path.read_bytes()
+        digest = hashlib.sha256(data).hexdigest()
+        with self._lock:
+            stale = self._path_digest.get(key)
+            if stale is not None and stale != digest:
+                self._entries.pop(stale, None)     # file changed on disk
+            self._path_digest[key] = digest
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self.hits += 1
+        recorder = get_recorder()
+        if entry is not None:
+            if recorder.enabled:
+                recorder.counter("infer.artifact_cache.hits")
+            return entry
+        artifact = artifact_from_bytes(data)
+        program = artifact.compile(name=name or path.stem)
+        entry = CachedArtifact(digest=digest, artifact=artifact,
+                               program=program)
+        with self._lock:
+            self.misses += 1
+            self._entries[digest] = entry
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                for k, d in list(self._path_digest.items()):
+                    if d == evicted:
+                        del self._path_digest[k]
+        if recorder.enabled:
+            recorder.counter("infer.artifact_cache.misses")
+        return entry
+
+    def invalidate(self, path: Union[str, Path]) -> None:
+        """Drop the entry currently associated with ``path`` (if any)."""
+        key = str(Path(path).resolve())
+        with self._lock:
+            digest = self._path_digest.pop(key, None)
+            if digest is not None:
+                self._entries.pop(digest, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._path_digest.clear()
+
+
+#: the process-wide default cache (``repro infer`` loops, serve registry)
+_DEFAULT_CACHE = ArtifactCache()
+
+
+def default_artifact_cache() -> ArtifactCache:
+    return _DEFAULT_CACHE
+
+
+def load_artifact_cached(path: Union[str, Path],
+                         name: Optional[str] = None) -> CachedArtifact:
+    """Load + compile through the process-wide :class:`ArtifactCache`."""
+    return _DEFAULT_CACHE.load(path, name=name)
 
 
 def build_artifact(model: Module, genome: Any, num_classes: int,

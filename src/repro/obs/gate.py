@@ -14,7 +14,10 @@ workload key and host fingerprint:
   batch_size)``; ``speedup`` is additionally gated (higher is better,
   key also includes ``workers``) unless either record is
   ``host_limited`` — a single-CPU host measures scheduling overhead,
-  not parallelism.
+  not parallelism;
+- ``BENCH_serve.json``: ``conc_ips`` (batched serving throughput under
+  concurrent clients), higher is better; ``p99_ms`` (tail latency,
+  lower is better) is additionally gated unless ``host_limited``.
 
 Records whose host fingerprint is missing (``host: null``, migrated
 from schema 1) or differs from the newest record are skipped with a
@@ -114,6 +117,16 @@ _SPECS = {
                       "batch_size"), False, False),
         "speedup": (("scale", "dataset", "mode", "seed", "trials",
                      "batch_size", "workers"), True, True),
+    },
+    "BENCH_serve": {
+        # batched serving throughput: meaningful even on one core (the
+        # arena pass amortizes per-request Python overhead)
+        "conc_ips": (("dataset", "bits", "image_size", "n_requests",
+                      "n_clients", "max_batch"), True, False),
+        # tail latency is a scheduling measurement; GIL contention on a
+        # single-CPU host drowns it, so skip there
+        "p99_ms": (("dataset", "bits", "image_size", "n_requests",
+                    "n_clients", "max_batch"), False, True),
     },
 }
 

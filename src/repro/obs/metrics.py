@@ -8,17 +8,31 @@ aggregates offline from a JSONL event log (what ``repro report`` does).
 Histograms use fixed bucket upper bounds (geometric, tuned for durations
 in seconds) so percentile queries are O(buckets) with bounded error and no
 sample retention — the usual monitoring-system trade-off.
+
+Every update goes through one module-level lock (:data:`_LOCK`), so
+instruments may be hammered concurrently from the serving daemon's
+batcher and worker threads without losing increments or tearing
+histogram state.  The lock is only ever touched by code that is already
+recording — the no-op recorder never reaches a metric — so the
+pay-for-what-you-use contract of :mod:`repro.obs.trace` is preserved.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 #: geometric upper bounds covering ~1 ms .. ~4 min (seconds)
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
     1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+#: one lock for every instrument update and registry mutation — a single
+#: coarse lock keeps the ordering trivially deadlock-free (metric updates
+#: never call back into user code) and the critical sections are a few
+#: scalar ops, so contention stays negligible next to inference work
+_LOCK = threading.Lock()
 
 
 class Counter:
@@ -33,7 +47,8 @@ class Counter:
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only increase")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "counter", "value": self.value}
@@ -54,11 +69,12 @@ class Gauge:
 
     def set(self, value: float) -> None:
         value = float(value)
-        self.value = value
-        self.count += 1
-        self.total += value
-        self.vmin = min(self.vmin, value)
-        self.vmax = max(self.vmax, value)
+        with _LOCK:
+            self.value = value
+            self.count += 1
+            self.total += value
+            self.vmin = min(self.vmin, value)
+            self.vmax = max(self.vmax, value)
 
     @property
     def mean(self) -> float:
@@ -103,11 +119,12 @@ class Histogram:
             if value <= bound:
                 index = i
                 break
-        self.counts[index] += 1
-        self.count += 1
-        self.total += value
-        self.vmin = min(self.vmin, value)
-        self.vmax = max(self.vmax, value)
+        with _LOCK:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            self.vmin = min(self.vmin, value)
+            self.vmax = max(self.vmax, value)
 
     @property
     def mean(self) -> float:
@@ -134,7 +151,7 @@ class Histogram:
                 "min": self.vmin if self.count else None,
                 "max": self.vmax if self.count else None,
                 "p50": self.percentile(0.5), "p90": self.percentile(0.9),
-                "p99": self.percentile(0.99)}
+                "p95": self.percentile(0.95), "p99": self.percentile(0.99)}
 
 
 class MetricsRegistry:
@@ -146,9 +163,12 @@ class MetricsRegistry:
     def _get(self, name: str, cls, *args):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = cls(name, *args)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+            with _LOCK:
+                metric = self._metrics.get(name)
+                if metric is None:  # double-checked: races create one
+                    metric = cls(name, *args)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, requested {cls.__name__}")

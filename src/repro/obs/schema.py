@@ -143,11 +143,14 @@ def _bench_contract(filename: str):
     """(schema version, required record fields) for a ``BENCH_*`` file.
 
     Each bench family owns its schema; the filename is the dispatch key
-    (``BENCH_infer.json`` → the inference-throughput log, everything else
-    → the parallel-engine log, the original family).
+    (``BENCH_infer.json`` → the inference-throughput log,
+    ``BENCH_serve.json`` → the serving load-test log, everything else →
+    the parallel-engine log, the original family).
     """
     if filename.startswith("BENCH_infer"):
         from ..infer.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
+    elif filename.startswith("BENCH_serve"):
+        from ..serve.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
     else:
         from ..parallel.bench import BENCH_SCHEMA_VERSION, RECORD_FIELDS
     return BENCH_SCHEMA_VERSION, RECORD_FIELDS
@@ -159,6 +162,10 @@ INFER_HOST_FIELDS = ("platform", "python", "numpy", "cpus")
 #: required keys of the ``host`` block in a BENCH_parallel v2 record
 #: (adds the CPU model, the fingerprint the bench gate keys on)
 PARALLEL_HOST_FIELDS = ("platform", "python", "numpy", "cpus", "cpu")
+
+#: required keys of the ``host`` block in a BENCH_serve v1 record
+#: (born with the full fingerprint — no migration debt)
+SERVE_HOST_FIELDS = PARALLEL_HOST_FIELDS
 
 
 def _validate_infer_run(index: int, run: Dict[str, Any]) -> List[str]:
@@ -217,11 +224,60 @@ def _validate_parallel_run(index: int, run: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def _validate_serve_run(index: int, run: Dict[str, Any]) -> List[str]:
+    """Typed checks for one BENCH_serve v1 record.
+
+    The serve family was born at schema 1 with the full host fingerprint
+    and ``host_limited`` flag, so — unlike the older families — nothing
+    may be null.
+    """
+    problems: List[str] = []
+    host = run.get("host")
+    if not isinstance(host, dict):
+        problems.append(f"run {index}: host must be an object, "
+                        f"got {host!r}")
+    else:
+        for field in SERVE_HOST_FIELDS:
+            if field not in host:
+                problems.append(f"run {index}: host missing field "
+                                f"{field!r}")
+    limited = run.get("host_limited")
+    if not isinstance(limited, bool):
+        problems.append(f"run {index}: host_limited must be a bool, "
+                        f"got {limited!r}")
+    for field in ("seq_s", "conc_s", "seq_ips", "conc_ips",
+                  "batch_speedup", "mean_batch"):
+        value = run.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"run {index}: {field} must be a non-negative "
+                            f"number, got {value!r}")
+    for field in ("n_requests", "n_clients", "max_batch", "queue_depth",
+                  "shed", "timeouts"):
+        value = run.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"run {index}: {field} must be a non-negative "
+                            f"integer, got {value!r}")
+    for field in ("p50_ms", "p95_ms", "p99_ms"):
+        value = run.get(field)
+        if value is not None and (not isinstance(value, (int, float))
+                                  or isinstance(value, bool) or value < 0):
+            problems.append(f"run {index}: {field} must be a non-negative "
+                            f"number or null, got {value!r}")
+    return problems
+
+
 def validate_bench(payload: Dict[str, Any],
                    filename: str = "BENCH_parallel.json") -> List[str]:
     """Validate a parsed ``BENCH_*.json`` payload."""
     schema_version, record_fields = _bench_contract(filename)
-    infer_family = filename.startswith("BENCH_infer")
+    if filename.startswith("BENCH_infer"):
+        validate_run = _validate_infer_run
+    elif filename.startswith("BENCH_serve"):
+        validate_run = _validate_serve_run
+    else:
+        validate_run = _validate_parallel_run
     problems: List[str] = []
     if not isinstance(payload, dict):
         return ["bench payload is not a JSON object"]
@@ -238,10 +294,7 @@ def validate_bench(payload: Dict[str, Any],
         for field in record_fields:
             if field not in run:
                 problems.append(f"run {index}: missing field {field!r}")
-        if infer_family:
-            problems.extend(_validate_infer_run(index, run))
-        else:
-            problems.extend(_validate_parallel_run(index, run))
+        problems.extend(validate_run(index, run))
     return problems
 
 
@@ -263,4 +316,15 @@ def validate_path(path: Union[str, Path]) -> List[str]:
     if path.is_file() and path.name == "checkpoint.json":
         from ..resilience.checkpoint import validate_checkpoint_file
         return validate_checkpoint_file(path)
+    if path.name == "serve_stats.json" or (
+            path.is_dir() and (path / "serve_stats.json").exists()
+            and not (path / "events.jsonl").exists()):
+        from ..serve.report import (ServeStatsError, load_serve_stats,
+                                    stats_path, validate_serve_stats)
+        try:
+            payload = load_serve_stats(path)
+        except ServeStatsError as exc:
+            return [str(exc)]
+        return [f"{stats_path(path)}: {p}"
+                for p in validate_serve_stats(payload)]
     return validate_events_file(path)

@@ -26,11 +26,20 @@ Worker processes collect their trial events with a private
 :class:`TraceRecorder` and ship them back through the ``TrialOutcome``
 protocol; :meth:`TraceRecorder.ingest` rebases their span ids under the
 current span so parallel runs produce one coherent stream.
+
+:class:`TraceRecorder` is additionally safe to share across *threads*
+(the serving daemon records spans from its HTTP handler and batch-worker
+threads): the open-span stack is thread-local — each thread nests its own
+spans under its own ancestry — while span-id allocation and event
+emission are serialized under one lock, so the JSONL stream never tears
+and ids stay unique.  Single-threaded runs see the exact same event
+stream as before, which is what keeps traced searches bit-identical.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -164,41 +173,60 @@ class TraceRecorder(Recorder):
         self.events: List[Dict[str, Any]] = []
         self.sink = sink
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The *calling thread's* open-span stack.
+
+        Thread-local so daemon threads each nest their own spans without
+        re-parenting each other; the main thread's stream is unchanged.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle ----------------------------------------------------
     def _span_started(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            span.parent_id = self._stack[-1].span_id
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack
+        if stack:
+            span.parent_id = stack[-1].span_id
             if span.trial is None:  # inherit trial index from the parent
-                span.trial = self._stack[-1].trial
-        self._stack.append(span)
+                span.trial = stack[-1].trial
+        stack.append(span)
 
     def _span_finished(self, span: Span) -> None:
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()  # tolerate out-of-order exits
-        if self._stack:
-            self._stack.pop()
+        stack = self._stack
+        while stack and stack[-1] is not span:
+            stack.pop()  # tolerate out-of-order exits
+        if stack:
+            stack.pop()
         self.event(span.as_event())
 
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     # -- event emission ----------------------------------------------------
     def event(self, payload: Dict[str, Any]) -> None:
-        self.events.append(payload)
+        with self._lock:
+            self.events.append(payload)
+            if self.sink is not None:
+                self.sink.write(json.dumps(payload) + "\n")
+                self.sink.flush()
         self.metrics.record_event(payload)
-        if self.sink is not None:
-            self.sink.write(json.dumps(payload) + "\n")
-            self.sink.flush()
 
     def _metric(self, type_: str, name: str, value: Union[int, float],
                 trial: Optional[int], tags: Dict[str, Any]) -> None:
-        if trial is None and self._stack:
-            trial = self._stack[-1].trial
+        stack = self._stack
+        if trial is None and stack:
+            trial = stack[-1].trial
         self.event({"type": type_, "name": name, "value": value,
                     "trial": trial, "tags": tags})
 
@@ -228,8 +256,11 @@ class TraceRecorder(Recorder):
         """
         if not events:
             return
-        base = self._next_id
-        max_id = 0
+        max_id = max((event.get("span") or 0 for event in events
+                      if event.get("type") == "span"), default=0)
+        with self._lock:  # reserve the rebased id range atomically
+            base = self._next_id
+            self._next_id = base + max_id + 1
         parent = self.current_span()
         parent_id = parent.span_id if parent is not None else None
         for source in events:
@@ -237,14 +268,12 @@ class TraceRecorder(Recorder):
             if payload.get("type") == "span":
                 span_id = payload.get("span")
                 if span_id is not None:
-                    max_id = max(max_id, span_id)
                     payload["span"] = span_id + base
                 if payload.get("parent") is None:
                     payload["parent"] = parent_id
                 else:
                     payload["parent"] = payload["parent"] + base
             self.event(payload)
-        self._next_id = base + max_id + 1
 
 
 #: the process-wide no-op default (shared, stateless)

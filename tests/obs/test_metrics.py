@@ -126,3 +126,79 @@ class TestMetricsRegistry:
         snap = reg.snapshot()
         assert snap["g"]["type"] == "gauge"
         assert snap["g"]["value"] == 1.0
+
+
+class TestThreadSafety:
+    """Concurrent hammer: totals must be exact, not merely close.
+
+    Unsynchronized ``+=`` under free-threading (or an ill-timed GIL
+    switch) loses increments; the registry's single module lock makes
+    every mutation atomic.  The assertions are exact equalities — a
+    single lost update fails the test.
+    """
+
+    N_THREADS = 8
+    N_OPS = 2_000
+
+    def _hammer(self, fn):
+        import threading
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(self.N_OPS):
+                    fn()
+            except Exception as exc:            # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_counter_exact_under_contention(self):
+        counter = Counter("c")
+        self._hammer(lambda: counter.inc())
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_exact_under_contention(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        self._hammer(lambda: histogram.observe(1.5))
+        total = self.N_THREADS * self.N_OPS
+        assert histogram.count == total
+        assert histogram.counts[1] == total
+        assert histogram.total == pytest.approx(1.5 * total)
+
+    def test_gauge_aggregates_every_set(self):
+        gauge = Gauge("g")
+        self._hammer(lambda: gauge.set(2.0))
+        assert gauge.count == self.N_THREADS * self.N_OPS
+        assert gauge.value == 2.0
+
+    def test_registry_get_or_create_races_to_one_instance(self):
+        import threading
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()                      # maximize the race window
+            for index in range(200):
+                seen.append(registry.counter(f"metric.{index % 10}"))
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        by_name = {}
+        for counter in seen:
+            by_name.setdefault(counter.name, set()).add(id(counter))
+        assert len(by_name) == 10
+        for name, instances in by_name.items():
+            assert len(instances) == 1, name
+        assert len(registry.names()) == 10

@@ -63,11 +63,20 @@ class TestSymmetricQuantProperties:
            factor=st.floats(0.01, 100.0))
     @settings(max_examples=60, deadline=None)
     def test_scale_equivariance(self, w, bits, factor):
-        """Quantization commutes with positive rescaling of the tensor."""
+        """Quantization commutes with positive rescaling of the tensor.
+
+        Exact equivariance is a real-arithmetic theorem.  In float32 the
+        two grids' scales can differ by an ulp, and a value sitting on a
+        round-to-even tie (e.g. w = [100, 50] at 3 bits, where 50 maps
+        to code 1.5) may round to different codes on each grid — an
+        off-by-one-code disagreement.  The float32 theorem is therefore
+        agreement within one step of the scaled grid.
+        """
         q = quantize_symmetric(w, bits)
         q_scaled = quantize_symmetric(w * factor, bits)
+        step = float(symmetric_scale(w * factor, bits))
         np.testing.assert_allclose(q * factor, q_scaled,
-                                   rtol=1e-3, atol=1e-3 * factor)
+                                   rtol=1e-3, atol=step * (1 + 1e-4))
 
 
 class TestActivationQuantProperties:

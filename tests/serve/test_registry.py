@@ -1,0 +1,69 @@
+"""Model registry + content-hash artifact cache behavior."""
+
+import pytest
+
+from repro.infer.artifact import ArtifactCache
+from repro.serve.queueing import UnknownModel
+from repro.serve.registry import ModelRegistry, RegistryError
+
+from .conftest import IMAGE_SIZE
+
+
+@pytest.fixture
+def registry():
+    # a private cache so hit/miss counters are this test's alone
+    return ModelRegistry(cache=ArtifactCache(capacity=4))
+
+
+class TestRegistry:
+    def test_load_and_describe(self, registry, serve_artifact_path):
+        entry = registry.load("cifar", serve_artifact_path)
+        assert entry.input_shape == (IMAGE_SIZE, IMAGE_SIZE, 3)
+        assert entry.num_classes == 10
+        info = entry.describe()
+        assert info["name"] == "cifar"
+        assert info["stages"] == len(entry.program.stages)
+        assert "cifar" in registry and len(registry) == 1
+
+    def test_invalid_names_refused(self, registry, serve_artifact_path):
+        for bad in ("", "a/b", "a b", "x" * 65, "dots.break.metrics"):
+            with pytest.raises(RegistryError):
+                registry.load(bad, serve_artifact_path)
+
+    def test_missing_file_refused(self, registry, tmp_path):
+        with pytest.raises(RegistryError, match="no such artifact"):
+            registry.load("m", tmp_path / "nope.bomp")
+
+    def test_unknown_model(self, registry):
+        with pytest.raises(UnknownModel):
+            registry.get("ghost")
+        with pytest.raises(UnknownModel):
+            registry.evict("ghost")
+
+    def test_evict(self, registry, serve_artifact_path):
+        registry.load("m", serve_artifact_path)
+        registry.evict("m")
+        assert "m" not in registry and registry.names() == []
+
+    def test_reload_same_content_hits_cache(self, registry,
+                                            serve_artifact_path):
+        first = registry.load("a", serve_artifact_path)
+        second = registry.load("b", serve_artifact_path)  # other name
+        third = registry.load("a", serve_artifact_path)   # reload
+        assert registry.cache.misses == 1
+        assert registry.cache.hits == 2
+        # the compiled program is the shared, immutable unit
+        assert first.program is second.program is third.program
+
+    def test_changed_file_recompiles(self, registry, serve_artifact_path,
+                                     tmp_path):
+        copy = tmp_path / "copy.bomp"
+        copy.write_bytes(serve_artifact_path.read_bytes())
+        old = registry.load("m", copy)
+        # re-export: same path, different content (fresh calibration seed)
+        from repro.serve.bench import make_bench_artifact
+        make_bench_artifact(copy, image_size=IMAGE_SIZE, seed=8)
+        new = registry.load("m", copy)
+        assert new.digest != old.digest
+        assert new.program is not old.program
+        assert registry.get("m") is new
